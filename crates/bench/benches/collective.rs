@@ -1,0 +1,54 @@
+//! Criterion wall-clock benchmarks of complete collective operations
+//! (engine machinery + simulator): useful for tracking regressions in the
+//! engines themselves, independent of the virtual-time model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexio_core::{Engine, Hints, MpiFile};
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_pfs::{Pfs, PfsConfig, PfsCostModel};
+use flexio_sim::{run, CostModel};
+use flexio_types::Datatype;
+
+fn collective_write(engine: Engine, style: TypeStyle) {
+    let spec = HpioSpec {
+        region_size: 64,
+        region_count: 128,
+        region_spacing: 64,
+        mem_noncontig: true,
+        file_noncontig: true,
+        nprocs: 4,
+    };
+    let pfs = Pfs::new(PfsConfig {
+        locking: false,
+        client_cache: false,
+        cost: PfsCostModel::free(),
+        ..PfsConfig::default()
+    });
+    run(spec.nprocs, CostModel::free(), move |rank| {
+        let hints = Hints { engine, cb_nodes: Some(2), ..Hints::default() };
+        let mut f = MpiFile::open(rank, &pfs, "bench", hints).unwrap();
+        let (disp, ftype) = spec.file_view(rank.rank(), style);
+        f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+        let buf = spec.make_buffer(rank.rank());
+        f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
+        f.close();
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collective_write");
+    g.sample_size(20);
+    for (name, engine, style) in [
+        ("flexible_succinct", Engine::Flexible, TypeStyle::Succinct),
+        ("flexible_enumerated", Engine::Flexible, TypeStyle::Enumerated),
+        ("romio", Engine::Romio, TypeStyle::Enumerated),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(engine, style), |b, &(e, s)| {
+            b.iter(|| collective_write(e, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

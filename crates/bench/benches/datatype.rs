@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the datatype layer: flattening,
+//! cursor streaming, skip-ahead, wire encoding — the operations whose
+//! costs §5.3 trades off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexio_types::{flatten, Datatype, FileView, FlatType, MemLayout};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flatten");
+    for n in [16u64, 256, 4096] {
+        let vector = Datatype::hvector(n, 1, 192, Datatype::bytes(64));
+        g.bench_with_input(BenchmarkId::new("enumerated", n), &vector, |b, dt| {
+            b.iter(|| flatten(black_box(dt)))
+        });
+    }
+    let succinct = Datatype::resized(0, 192, Datatype::bytes(64));
+    g.bench_function("succinct", |b| b.iter(|| flatten(black_box(&succinct))));
+    let nested = Datatype::vector(
+        64,
+        2,
+        5,
+        Datatype::structure(vec![
+            (0, 1, Datatype::bytes(8)),
+            (16, 2, Datatype::bytes(4)),
+        ]),
+    );
+    g.bench_function("nested", |b| b.iter(|| flatten(black_box(&nested))));
+    g.finish();
+}
+
+fn bench_cursor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cursor");
+    // Succinct: 1 pair/tile; enumerated: 4096 pairs in one tile.
+    let succinct = Arc::new(flatten(&Datatype::resized(0, 192, Datatype::bytes(64))));
+    let enumerated = Arc::new(flatten(&Datatype::hvector(4096, 1, 192, Datatype::bytes(64))));
+    let vs = FileView::new(0, succinct, 1).unwrap();
+    let ve = FileView::new(0, enumerated, 1).unwrap();
+    g.bench_function("skip_succinct", |b| {
+        b.iter(|| {
+            let mut cur = vs.cursor(0);
+            for k in 1..64u64 {
+                cur.advance_to_file(black_box(k * 12_288));
+            }
+            cur.evaluated()
+        })
+    });
+    g.bench_function("skip_enumerated", |b| {
+        b.iter(|| {
+            let mut cur = ve.cursor(0);
+            for k in 1..64u64 {
+                cur.advance_to_file(black_box(k * 12_288));
+            }
+            cur.evaluated()
+        })
+    });
+    g.bench_function("stream_pieces", |b| {
+        b.iter(|| {
+            let mut cur = vs.cursor(0);
+            let mut total = 0u64;
+            for _ in 0..1000 {
+                total += cur.take(black_box(64)).len;
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let ft = flatten(&Datatype::hvector(4096, 1, 192, Datatype::bytes(64)));
+    g.bench_function("encode_4096", |b| b.iter(|| black_box(&ft).to_wire()));
+    let wire = ft.to_wire();
+    g.bench_function("decode_4096", |b| b.iter(|| FlatType::from_wire(black_box(&wire))));
+    g.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memlayout");
+    let dt = Datatype::resized(0, 192, Datatype::bytes(64));
+    let m = MemLayout::new(Arc::new(flatten(&dt)), 1024);
+    let buf = vec![7u8; m.span() as usize];
+    let mut out = vec![0u8; (64 * 1024) as usize];
+    g.bench_function("gather_64k", |b| {
+        b.iter(|| {
+            m.gather(black_box(&buf), 0, black_box(&mut out));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flatten, bench_cursor, bench_wire, bench_gather);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation A3 (§7 future work): load-balanced realm assignment vs the
+//! even aggregate-access-region split, on sparse clustered accesses.
+//!
+//! Workload: every rank writes one stripe-aligned cluster near the start
+//! of the file; rank 0 also writes a single straggler byte far away, which
+//! stretches the AAR so the even split leaves all real data in one realm.
+
+use flexio_bench::{best_of_ns, mbps, Scale};
+use flexio_core::{BalancedLoad, EvenAar, Hints, MpiFile, RealmAssigner};
+use flexio_pfs::{Pfs, PfsConfig};
+use flexio_sim::{run, CostModel};
+use flexio_types::Datatype;
+use std::sync::Arc;
+
+fn time_one(nprocs: usize, cluster: u64, straggler: u64, assigner: Arc<dyn RealmAssigner>) -> u64 {
+    let pfs = Pfs::new(PfsConfig {
+        stripe_size: cluster,
+        page_size: 4096,
+        ..PfsConfig::default()
+    });
+    let out = run(nprocs, CostModel::default(), move |rank| {
+        let hints = Hints {
+            realm_assigner: Some(Arc::clone(&assigner)),
+            cb_nodes: Some(nprocs),
+            ..Hints::default()
+        };
+        let mut f = MpiFile::open(rank, &pfs, "a3", hints).unwrap();
+        let bt = Datatype::bytes(1);
+        let t0;
+        let elapsed;
+        if rank.rank() == 0 {
+            let ft = Datatype::hindexed(
+                vec![(0, cluster), (straggler as i64, 1)],
+                Datatype::bytes(1),
+            );
+            f.set_view(0, &bt, &ft).unwrap();
+            let data = vec![7u8; cluster as usize + 1];
+            t0 = rank.now();
+            f.write_all(&data, &Datatype::bytes(cluster + 1), 1).unwrap();
+            elapsed = rank.now() - t0;
+        } else {
+            let ft = Datatype::bytes(cluster);
+            f.set_view(rank.rank() as u64 * cluster, &bt, &ft).unwrap();
+            let data = vec![7u8; cluster as usize];
+            t0 = rank.now();
+            f.write_all(&data, &Datatype::bytes(cluster), 1).unwrap();
+            elapsed = rank.now() - t0;
+        }
+        f.close();
+        rank.allreduce_max(elapsed)
+    });
+    out[0]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cluster: u64 = if scale.paper { 2 << 20 } else { 256 << 10 };
+    println!("# Ablation A3 — realm assignment on sparse clustered access (§7)");
+    println!("# columns: nprocs,assigner,mbps");
+    for nprocs in [4usize, 8, 16] {
+        let straggler = cluster * nprocs as u64 * 64; // sparse tail
+        let total = cluster * nprocs as u64 + 1;
+        for (name, assigner) in [
+            ("even-aar", Arc::new(EvenAar) as Arc<dyn RealmAssigner>),
+            ("balanced-load", Arc::new(BalancedLoad) as Arc<dyn RealmAssigner>),
+        ] {
+            let ns =
+                best_of_ns(scale.best_of, || time_one(nprocs, cluster, straggler, assigner.clone()));
+            println!("{nprocs},{name},{:.2}", mbps(total, ns));
+        }
+    }
+    println!();
+    println!("Expected shape: balanced-load spreads the clusters over all aggregators");
+    println!("while even-aar funnels them through one; the gap grows with nprocs.");
+}

@@ -1,0 +1,56 @@
+//! Ablation A2 (§5.4): data-exchange flavour — sparse non-blocking
+//! point-to-point (with pack/unpack copies, overlapped with address
+//! computation) vs a dense `MPI_Alltoallw`-style collective operating
+//! directly on user/collective buffers.
+//!
+//! The tradeoff: alltoallw skips the copies but sends one message per peer
+//! pair regardless of sparsity, so it wins for dense exchanges and loses
+//! when only a few pairs communicate.
+
+use flexio_bench::{best_of_ns, hpio_collective_write_ns, mbps, Scale};
+use flexio_core::{ExchangeMode, Hints};
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_pfs::{Pfs, PfsConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let nprocs = if scale.paper { 64 } else { 16 };
+    println!("# Ablation A2 — exchange mode (§5.4)");
+    println!("# columns: pattern,aggs,mode,mbps");
+    // Dense pattern: fine interleave, every client talks to every
+    // aggregator. Sparse pattern: coarse blocks, each client's data lands
+    // in one aggregator's realm.
+    let patterns: [(&str, u64, u64); 2] = [
+        ("dense(64B interleave)", 64, 2048),
+        ("sparse(256KiB blocks)", 256 << 10, 4),
+    ];
+    for (pname, region, count) in patterns {
+        let sparse = region > 1024;
+        for aggs in [nprocs / 4, nprocs / 2, nprocs] {
+            let spec = HpioSpec {
+                region_size: region,
+                region_count: count,
+                region_spacing: 0,
+                mem_noncontig: false,
+                // Sparse: each rank one contiguous range -> few pairs talk.
+                file_noncontig: !sparse,
+                nprocs,
+            };
+            for (mname, mode) in [
+                ("nonblocking", ExchangeMode::Nonblocking),
+                ("alltoallw", ExchangeMode::Alltoallw),
+            ] {
+                let hints = Hints {
+                    cb_nodes: Some(aggs),
+                    exchange: mode,
+                    ..Hints::default()
+                };
+                let ns = best_of_ns(scale.best_of, || {
+                    let pfs = Pfs::new(PfsConfig::default());
+                    hpio_collective_write_ns(&pfs, spec, TypeStyle::Succinct, &hints, "a2")
+                });
+                println!("{pname},{aggs},{mname},{:.2}", mbps(spec.aggregate_bytes(), ns));
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Read-direction study: the paper's evaluation only measures collective
+//! writes; this harness sweeps the same HPIO patterns through collective
+//! *reads* (two-phase reversed: aggregators read their realms once,
+//! scatter to clients) for both engines.
+
+use flexio_bench::{best_of_ns, mbps, print_table, Scale};
+use flexio_core::{Engine, Hints, MpiFile};
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_pfs::{Pfs, PfsConfig};
+use flexio_sim::{run, CostModel};
+use flexio_types::Datatype;
+use std::sync::Arc;
+
+fn read_ns(pfs: &Arc<Pfs>, spec: HpioSpec, style: TypeStyle, hints: &Hints) -> u64 {
+    let pfs = Arc::clone(pfs);
+    let hints = hints.clone();
+    let out = run(spec.nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &pfs, "r", hints.clone()).unwrap();
+        let (disp, ftype) = spec.file_view(rank.rank(), style);
+        f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+        let mut buf = vec![0u8; spec.buffer_span() as usize];
+        rank.barrier();
+        let t0 = rank.now();
+        f.read_all(&mut buf, &spec.mem_type(), spec.mem_count()).unwrap();
+        let elapsed = rank.now() - t0;
+        // Verify what we read against the stamps.
+        let want = spec.make_buffer(rank.rank());
+        for i in 0..spec.region_count {
+            for b in 0..spec.region_size {
+                let pos = if spec.mem_noncontig { i * spec.unit() + b } else { i * spec.region_size + b };
+                assert_eq!(buf[pos as usize], want[pos as usize], "read verify failed");
+            }
+        }
+        f.close();
+        rank.allreduce_max(elapsed)
+    });
+    out[0]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (nprocs, regions) = if scale.paper { (64, 4096) } else { (16, 1024) };
+    let aggs = nprocs / 2;
+    let region_sizes = [16u64, 64, 256, 1024, 4096];
+    let methods: [(&str, Engine, TypeStyle); 3] = [
+        ("new+struct", Engine::Flexible, TypeStyle::Succinct),
+        ("new+vect", Engine::Flexible, TypeStyle::Enumerated),
+        ("old+vec", Engine::Romio, TypeStyle::Enumerated),
+    ];
+
+    println!("# Collective READ — HPIO non-contig mem & file, {nprocs} procs, {aggs} aggs");
+    println!("# columns: region_size,method,mbps");
+    let mut series: Vec<(String, Vec<f64>)> =
+        methods.iter().map(|(n, _, _)| (n.to_string(), Vec::new())).collect();
+    for &rs in &region_sizes {
+        let spec = HpioSpec {
+            region_size: rs,
+            region_count: regions,
+            region_spacing: 128,
+            mem_noncontig: true,
+            file_noncontig: true,
+            nprocs,
+        };
+        for (mi, (name, engine, style)) in methods.iter().enumerate() {
+            let hints = Hints { engine: *engine, cb_nodes: Some(aggs), ..Hints::default() };
+            let ns = best_of_ns(scale.best_of, || {
+                let pfs = Pfs::new(PfsConfig::default());
+                // Populate the file with a fast collective write first.
+                {
+                    let pfs = Arc::clone(&pfs);
+                    let h2 = Hints { cb_nodes: Some(aggs), ..Hints::default() };
+                    run(spec.nprocs, CostModel::free(), move |rank| {
+                        let mut f = MpiFile::open(rank, &pfs, "r", h2.clone()).unwrap();
+                        let (disp, ftype) = spec.file_view(rank.rank(), TypeStyle::Succinct);
+                        f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+                        let buf = spec.make_buffer(rank.rank());
+                        f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
+                        f.close();
+                    });
+                }
+                read_ns(&pfs, spec, *style, &hints)
+            });
+            let bw = mbps(spec.aggregate_bytes(), ns);
+            println!("{rs},{name},{bw:.2}");
+            series[mi].1.push(bw);
+        }
+    }
+    let xs: Vec<String> = region_sizes.iter().map(|r| r.to_string()).collect();
+    print_table("Collective read bandwidth (MB/s)", "region B", &xs, &series);
+}

@@ -1,0 +1,62 @@
+//! Figure 4: HPIO, non-contiguous in memory and file, collective write
+//! bandwidth vs region size, one panel per aggregator count, three
+//! methods: `new+struct`, `new+vect`, `old+vec`.
+//!
+//! Paper scale (`--paper`): 64 procs, 4096 regions/client, 128 B spacing,
+//! region size 8 B – 4 KiB, aggregators ∈ {8, 16, 24, 32}.
+//! Default scale: 16 procs, 1024 regions, aggregators ∈ {2, 4, 6, 8} —
+//! same shape, seconds of wall time.
+
+use flexio_bench::{best_of_ns, hpio_collective_write_ns, mbps, print_table, Scale};
+use flexio_core::{Engine, Hints};
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_pfs::{Pfs, PfsConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (nprocs, regions, agg_counts): (usize, u64, Vec<usize>) = if scale.paper {
+        (64, 4096, vec![8, 16, 24, 32])
+    } else {
+        (16, 1024, vec![2, 4, 6, 8])
+    };
+    let region_sizes: Vec<u64> = vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let methods: [(&str, Engine, TypeStyle); 3] = [
+        ("new+struct", Engine::Flexible, TypeStyle::Succinct),
+        ("new+vect", Engine::Flexible, TypeStyle::Enumerated),
+        ("old+vec", Engine::Romio, TypeStyle::Enumerated),
+    ];
+
+    println!("# Fig. 4 — HPIO: {nprocs} procs non-contig in memory and non-contig in file");
+    println!("# columns: aggs,region_size_bytes,method,mbps");
+    for &aggs in &agg_counts {
+        let mut series: Vec<(String, Vec<f64>)> =
+            methods.iter().map(|(n, _, _)| (n.to_string(), Vec::new())).collect();
+        for &rs in &region_sizes {
+            let spec = HpioSpec {
+                region_size: rs,
+                region_count: regions,
+                region_spacing: 128,
+                mem_noncontig: true,
+                file_noncontig: true,
+                nprocs,
+            };
+            for (mi, (name, engine, style)) in methods.iter().enumerate() {
+                let hints = Hints { engine: *engine, cb_nodes: Some(aggs), ..Hints::default() };
+                let ns = best_of_ns(scale.best_of, || {
+                    let pfs = Pfs::new(PfsConfig::default());
+                    hpio_collective_write_ns(&pfs, spec, *style, &hints, "fig4")
+                });
+                let bw = mbps(spec.aggregate_bytes(), ns);
+                println!("{aggs},{rs},{name},{bw:.2}");
+                series[mi].1.push(bw);
+            }
+        }
+        let xs: Vec<String> = region_sizes.iter().map(|r| r.to_string()).collect();
+        print_table(
+            &format!("{aggs} aggs — I/O bandwidth (MB/s)"),
+            "region B",
+            &xs,
+            &series,
+        );
+    }
+}

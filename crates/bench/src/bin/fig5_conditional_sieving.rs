@@ -1,0 +1,90 @@
+//! Figure 5: conditional data sieving — DataSieve vs Naive beneath
+//! two-phase collective writes, one panel per datatype extent (1/8/16/64
+//! KiB), region size swept from 3 % to 97 % of the extent.
+//!
+//! The file (1 GiB at paper scale) is pre-written so unaligned writes pay
+//! read-modify-write, exactly as on a pre-existing Lustre file; the spikes
+//! at 4 KiB-multiple region sizes come from page alignment.
+
+use flexio_bench::{best_of_ns, hpio_collective_write_ns, mbps, print_table, Scale};
+use flexio_core::Hints;
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_io::IoMethod;
+use flexio_pfs::{Pfs, PfsConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    // (extent, region sizes at ~3%..97% of extent, as in the paper's axes)
+    let panels: Vec<(u64, Vec<u64>)> = vec![
+        // The final point of each sweep is 100% of the extent: the
+        // "contiguous in memory to contiguous in file" fast-path spike.
+        (1 << 10, vec![32, 192, 352, 512, 672, 832, 992, 1024]),
+        (8 << 10, vec![256, 1536, 2816, 4096, 5376, 6656, 7936, 8192]),
+        (16 << 10, vec![512, 3072, 5632, 8192, 10752, 13312, 15872, 16384]),
+        (64 << 10, vec![2048, 12288, 22528, 32768, 43008, 53248, 63488, 65536]),
+    ];
+    let (nprocs, file_bytes): (usize, u64) = if scale.paper {
+        (64, 1 << 30)
+    } else {
+        (8, 64 << 20)
+    };
+    let aggs = nprocs / 2;
+    let methods: [(&str, IoMethod); 3] = [
+        ("datasieve", IoMethod::DataSieve { buffer: 512 << 10 }),
+        ("naive", IoMethod::Naive),
+        ("conditional", IoMethod::Conditional { extent_threshold: 16 << 10, sieve_buffer: 512 << 10 }),
+    ];
+
+    println!("# Fig. 5 — conditional data sieving and naive I/O from within collective I/O");
+    println!("# {nprocs} procs, {aggs} aggregators, file pre-sized to {file_bytes} bytes");
+    println!("# columns: extent_bytes,region_size_bytes,percent,method,mbps");
+    for (extent, region_sizes) in panels {
+        let mut series: Vec<(String, Vec<f64>)> =
+            methods.iter().map(|(n, _)| (n.to_string(), Vec::new())).collect();
+        for &rs in &region_sizes {
+            // Region count chosen so the access covers the whole file span:
+            // count * extent * nprocs = file_bytes.
+            let count = (file_bytes / (extent * nprocs as u64)).max(1);
+            let spec = HpioSpec {
+                region_size: rs,
+                region_count: count,
+                region_spacing: extent - rs,
+                mem_noncontig: false,
+                file_noncontig: true,
+                nprocs,
+            };
+            let pct = rs * 100 / extent;
+            for (mi, (name, method)) in methods.iter().enumerate() {
+                let hints = Hints {
+                    cb_nodes: Some(aggs),
+                    io_method: *method,
+                    ..Hints::default()
+                };
+                let ns = best_of_ns(scale.best_of, || {
+                    let pfs = Pfs::new(PfsConfig::default());
+                    // Pre-size the file so gaps contain real data (RMW).
+                    let h = pfs.open("fig5", usize::MAX - 1);
+                    let chunk = vec![0xAAu8; 4 << 20];
+                    let mut off = 0u64;
+                    while off < file_bytes {
+                        let n = chunk.len().min((file_bytes - off) as usize);
+                        h.write(0, off, &chunk[..n]);
+                        off += n as u64;
+                    }
+                    hpio_collective_write_ns(&pfs, spec, TypeStyle::Succinct, &hints, "fig5")
+                });
+                let bw = mbps(spec.aggregate_bytes(), ns);
+                println!("{extent},{rs},{pct},{name},{bw:.2}");
+                series[mi].1.push(bw);
+            }
+        }
+        let xs: Vec<String> =
+            region_sizes.iter().map(|r| format!("{r} ({}%)", r * 100 / extent)).collect();
+        print_table(
+            &format!("{} KiB datatype extent — I/O bandwidth (MB/s)", extent >> 10),
+            "region",
+            &xs,
+            &series,
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 7: persistent file realms × file-realm alignment, the Fig. 6
+//! time-step pattern (one collective write per step), client write-back
+//! caching and Lustre-style locks on.
+//!
+//! Paper scale (`--paper`): 32-byte elements, 100 elements/point, 2048
+//! points, 32 time steps, clients ∈ {16, 32, 48, 64}, half of the clients
+//! are aggregators, 2 MiB stripes. Default scale shrinks points/steps.
+
+use flexio_bench::{best_of_ns, mbps, print_table, Scale};
+use flexio_core::{Hints, MpiFile};
+use flexio_hpio::TimeStepSpec;
+use flexio_io::IoMethod;
+use flexio_pfs::{Pfs, PfsConfig};
+use flexio_sim::{run, CostModel};
+use flexio_types::Datatype;
+
+fn time_one(spec: TimeStepSpec, pfr: bool, align: bool, stripe: u64) -> u64 {
+    let pfs = Pfs::new(PfsConfig {
+        stripe_size: stripe,
+        page_size: 4096,
+        locking: true,
+        lock_expansion: true,
+        client_cache: true,
+        ..PfsConfig::default()
+    });
+    let out = run(spec.nprocs, CostModel::default(), move |rank| {
+        let hints = Hints {
+            persistent_file_realms: pfr,
+            fr_alignment: align.then_some(stripe),
+            cb_nodes: Some(spec.nprocs / 2),
+            // "data sieving is always on" in this experiment (§6.4).
+            io_method: IoMethod::DataSieve { buffer: 512 << 10 },
+            ..Hints::default()
+        };
+        let mut f = MpiFile::open(rank, &pfs, "fig7", hints).unwrap();
+        rank.barrier();
+        let t0 = rank.now();
+        for t in 0..spec.steps {
+            let (disp, ftype) = spec.file_view(rank.rank(), t);
+            f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+            let buf = spec.make_buffer(rank.rank(), t);
+            let n = buf.len() as u64;
+            f.write_all(&buf, &Datatype::bytes(n.max(1)), (n > 0) as u64).unwrap();
+        }
+        let elapsed = rank.now() - t0;
+        f.close();
+        rank.allreduce_max(elapsed)
+    });
+    out[0]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (client_counts, points, steps, stripe): (Vec<usize>, u64, u64, u64) = if scale.paper {
+        (vec![16, 32, 48, 64], 2048, 32, 2 << 20)
+    } else {
+        (vec![8, 16, 24, 32], 512, 8, 512 << 10)
+    };
+    let combos: [(&str, bool, bool); 4] = [
+        ("pfr/fr-align", true, true),
+        ("pfr/no-fr-align", true, false),
+        ("no-pfr/fr-align", false, true),
+        ("no-pfr/no-fr-align", false, false),
+    ];
+
+    println!("# Fig. 7 — PFRs & file realm alignment (half of clients are aggregators)");
+    println!("# columns: clients,combo,mbps");
+    let mut series: Vec<(String, Vec<f64>)> =
+        combos.iter().map(|(n, _, _)| (n.to_string(), Vec::new())).collect();
+    for &clients in &client_counts {
+        let spec = TimeStepSpec {
+            elem_size: 32,
+            elems_per_point: 100,
+            points,
+            steps,
+            nprocs: clients,
+        };
+        let total = spec.bytes_per_step() * spec.steps;
+        for (ci, (name, pfr, align)) in combos.iter().enumerate() {
+            let ns = best_of_ns(scale.best_of, || time_one(spec, *pfr, *align, stripe));
+            let bw = mbps(total, ns);
+            println!("{clients},{name},{bw:.3}");
+            series[ci].1.push(bw);
+        }
+    }
+    let xs: Vec<String> = client_counts.iter().map(|c| c.to_string()).collect();
+    print_table("PFRs & File Realm Alignment — I/O bandwidth (MB/s)", "clients", &xs, &series);
+}

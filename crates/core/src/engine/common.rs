@@ -1,0 +1,292 @@
+//! Machinery shared by both two-phase engines.
+
+use crate::meta::ClientAccess;
+use flexio_types::ViewCursor;
+
+/// One piece of a client's access that falls in an aggregator's window:
+/// a contiguous file run plus its position in the client's data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// Absolute file offset.
+    pub file_off: u64,
+    /// Position in the owning client's data space.
+    pub data_pos: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Piece {
+    /// Exclusive end file offset.
+    pub fn file_end(&self) -> u64 {
+        self.file_off + self.len
+    }
+}
+
+/// Stream the pieces of a client's access that fall inside the window
+/// `win` (sorted disjoint file segments). `cur` is the stateful cursor for
+/// this (client, aggregator) pair — windows ascend monotonically across
+/// buffer cycles, so the cursor never rewinds. `data_end` clips to the
+/// client's access length.
+pub fn intersect_window(
+    cur: &mut ViewCursor<'_>,
+    data_end: u64,
+    win: &[(u64, u64)],
+) -> Vec<Piece> {
+    let mut out = Vec::new();
+    for &(ws, wlen) in win {
+        let we = ws + wlen;
+        if cur.data_pos() >= data_end {
+            break;
+        }
+        cur.advance_to_file(ws);
+        loop {
+            if cur.data_pos() >= data_end {
+                return out;
+            }
+            let room = data_end - cur.data_pos();
+            match cur.take_below(we, room) {
+                Some(p) => out.push(Piece { file_off: p.file_off, data_pos: p.data_pos, len: p.len }),
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// A cursor wrapper owning the reconstructed view of a remote client, so
+/// aggregators can walk other ranks' filetypes (§5.3: "the aggregator must
+/// calculate them itself").
+pub struct ClientStream {
+    access: ClientAccess,
+    /// Total offset/length pairs evaluated so far (for compute charging).
+    evaluated_done: u64,
+    /// Data position reached (cursor recreated lazily per window batch).
+    data_pos: u64,
+}
+
+impl ClientStream {
+    /// Start a stream at the client's first data byte.
+    pub fn new(access: ClientAccess) -> Self {
+        let data_pos = access.data_start;
+        ClientStream { access, evaluated_done: 0, data_pos }
+    }
+
+    /// The underlying access.
+    pub fn access(&self) -> &ClientAccess {
+        &self.access
+    }
+
+    /// Pieces of this client inside `win`; returns (pieces, pairs_charged).
+    pub fn take_window(&mut self, win: &[(u64, u64)]) -> (Vec<Piece>, u64) {
+        if self.access.data_len == 0 || self.data_pos >= self.access.data_end() {
+            return (Vec::new(), 0);
+        }
+        let mut cur = self.access.view.cursor(self.data_pos);
+        let before = cur.evaluated();
+        let pieces = intersect_window(&mut cur, self.access.data_end(), win);
+        let charged = cur.evaluated() - before;
+        self.evaluated_done += charged;
+        if let Some(last) = pieces.last() {
+            self.data_pos = last.data_pos + last.len;
+        } else {
+            // The cursor advanced past the window even with no data there.
+            self.data_pos = self.data_pos.max(cur.data_pos().min(self.access.data_end()));
+        }
+        (pieces, charged)
+    }
+
+    /// Total pairs evaluated by this stream.
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated_done
+    }
+}
+
+/// One assembly-plan entry: `(file_off, client, piece_idx, len)`.
+pub type PlanEntry = (u64, usize, usize, u64);
+
+/// Merge per-client piece lists into a file-ordered plan: returns
+/// `(entries, segs)` where entries are sorted by file offset and `segs`
+/// are the merged `(off, len)` runs.
+pub fn merge_pieces(per_client: &[(usize, Vec<Piece>)]) -> (Vec<PlanEntry>, Vec<(u64, u64)>) {
+    let mut entries: Vec<(u64, usize, usize, u64)> = Vec::new();
+    for (client, pieces) in per_client {
+        for (i, p) in pieces.iter().enumerate() {
+            entries.push((p.file_off, *client, i, p.len));
+        }
+    }
+    entries.sort_unstable();
+    let mut segs: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+    for &(off, _, _, len) in &entries {
+        match segs.last_mut() {
+            Some(last) if last.0 + last.1 == off => last.1 += len,
+            _ => segs.push((off, len)),
+        }
+    }
+    (entries, segs)
+}
+
+/// Split file-ordered data segments into groups, one per realm window
+/// segment. Data sieving must never span a realm boundary: the gap bytes
+/// between two realm chunks belong to *other* aggregators, and writing
+/// them back from a sieve buffer would race with their owners. Each group
+/// is safe to sieve because every byte in its bounding box is owned by
+/// this aggregator's realm chunk.
+pub fn group_by_window(
+    segs: &[(u64, u64)],
+    window: &[(u64, u64)],
+) -> Vec<(usize, Vec<(u64, u64)>)> {
+    let mut groups: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
+    let mut wi = 0usize;
+    let mut current: Vec<(u64, u64)> = Vec::new();
+    for &(off, len) in segs {
+        while wi < window.len() && window[wi].0 + window[wi].1 <= off {
+            if !current.is_empty() {
+                groups.push((wi, std::mem::take(&mut current)));
+            }
+            wi += 1;
+        }
+        debug_assert!(
+            wi < window.len() && off >= window[wi].0 && off + len <= window[wi].0 + window[wi].1,
+            "data segment ({off},{len}) outside realm window"
+        );
+        current.push((off, len));
+    }
+    if !current.is_empty() {
+        groups.push((wi, current));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexio_types::{flatten, Datatype, FileView};
+    use std::sync::Arc;
+
+    fn access(disp: u64, block: u64, extent: u64, start: u64, len: u64) -> ClientAccess {
+        let dt = Datatype::resized(0, extent, Datatype::bytes(block));
+        ClientAccess {
+            view: FileView::new(disp, Arc::new(flatten(&dt)), 1).unwrap(),
+            data_start: start,
+            data_len: len,
+        }
+    }
+
+    #[test]
+    fn intersect_single_window() {
+        // 4 data / 4 gap, disp 0; window [0, 10)
+        let a = access(0, 4, 8, 0, 100);
+        let mut cur = a.view.cursor(0);
+        let pieces = intersect_window(&mut cur, 100, &[(0, 10)]);
+        assert_eq!(
+            pieces,
+            vec![
+                Piece { file_off: 0, data_pos: 0, len: 4 },
+                Piece { file_off: 8, data_pos: 4, len: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn intersect_respects_data_end() {
+        let a = access(0, 4, 8, 0, 5);
+        let mut cur = a.view.cursor(0);
+        let pieces = intersect_window(&mut cur, 5, &[(0, 100)]);
+        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        assert_eq!(total, 5);
+        assert_eq!(pieces.last().unwrap().file_off, 8);
+    }
+
+    #[test]
+    fn intersect_multi_segment_window() {
+        let a = access(0, 4, 8, 0, 100);
+        let mut cur = a.view.cursor(0);
+        let pieces = intersect_window(&mut cur, 100, &[(0, 4), (16, 4)]);
+        assert_eq!(
+            pieces,
+            vec![
+                Piece { file_off: 0, data_pos: 0, len: 4 },
+                Piece { file_off: 16, data_pos: 8, len: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn client_stream_monotonic_windows() {
+        let a = access(0, 4, 8, 0, 100);
+        let mut s = ClientStream::new(a);
+        let (p1, c1) = s.take_window(&[(0, 8)]);
+        assert_eq!(p1.len(), 1);
+        assert!(c1 > 0);
+        let (p2, _) = s.take_window(&[(8, 8)]);
+        assert_eq!(p2, vec![Piece { file_off: 8, data_pos: 4, len: 4 }]);
+        let (p3, _) = s.take_window(&[(16, 16)]);
+        let total: u64 = p3.iter().map(|p| p.len).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn client_stream_empty_access() {
+        let a = access(0, 4, 8, 0, 0);
+        let mut s = ClientStream::new(a);
+        let (p, c) = s.take_window(&[(0, 100)]);
+        assert!(p.is_empty());
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn client_stream_offset_start() {
+        // data_start 6 -> begins mid-second-block (file 10).
+        let a = access(0, 4, 8, 6, 10);
+        let mut s = ClientStream::new(a);
+        let (p, _) = s.take_window(&[(0, 100)]);
+        assert_eq!(p[0], Piece { file_off: 10, data_pos: 6, len: 2 });
+        let total: u64 = p.iter().map(|x| x.len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn group_by_window_splits_at_realm_chunks() {
+        let window = [(0u64, 100u64), (300, 100), (600, 50)];
+        let segs = [(10u64, 20u64), (50, 10), (310, 5), (620, 10)];
+        let groups = group_by_window(&segs, &window);
+        assert_eq!(
+            groups,
+            vec![
+                (0, vec![(10, 20), (50, 10)]),
+                (1, vec![(310, 5)]),
+                (2, vec![(620, 10)])
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_window_single_chunk() {
+        let window = [(0u64, 1000u64)];
+        let segs = [(10u64, 20u64), (500, 10)];
+        assert_eq!(group_by_window(&segs, &window), vec![(0, vec![(10, 20), (500, 10)])]);
+    }
+
+    #[test]
+    fn group_by_window_skips_empty_chunks() {
+        let window = [(0u64, 10u64), (20, 10), (40, 10)];
+        let segs = [(42u64, 3u64)];
+        assert_eq!(group_by_window(&segs, &window), vec![(2, vec![(42, 3)])]);
+    }
+
+    #[test]
+    fn merge_pieces_sorts_and_merges() {
+        let per_client = vec![
+            (0usize, vec![Piece { file_off: 8, data_pos: 0, len: 4 }]),
+            (1usize, vec![
+                Piece { file_off: 0, data_pos: 0, len: 4 },
+                Piece { file_off: 12, data_pos: 4, len: 4 },
+            ]),
+        ];
+        let (entries, segs) = merge_pieces(&per_client);
+        assert_eq!(entries[0].0, 0);
+        assert_eq!(entries[1].0, 8);
+        assert_eq!(entries[2].0, 12);
+        assert_eq!(segs, vec![(0, 4), (8, 8)]);
+    }
+}

@@ -1,0 +1,421 @@
+//! The new flexible two-phase collective I/O engine (§4–§5).
+//!
+//! Differences from the original ROMIO code path (`engine::romio`):
+//!
+//! * **Metadata**: ships each client's *flattened filetype* (`D` pairs)
+//!   once via allgather, instead of the fully flattened access (`M`
+//!   pairs). Aggregators re-derive every client's offset/length stream
+//!   themselves — O(M) work per aggregator, and the client walks its own
+//!   stream once per aggregator (O(MA) with enumerated filetypes, far less
+//!   with succinct ones thanks to whole-datatype skipping).
+//! * **File realms are datatype streams** ([`crate::realm::FileRealm`]):
+//!   any assigner can be plugged in; persistent file realms and boundary
+//!   alignment are hints, not code forks.
+//! * **The collective buffer is separate** from any sieve buffer: each
+//!   buffer cycle hands one packed non-contiguous request to `flexio-io`,
+//!   which may choose a different method every cycle (§5.1). The price is
+//!   the double-buffer copy, charged here.
+//! * **Exchange flavour** (§5.4): sparse non-blocking, or a dense
+//!   alltoallw-style collective that skips pack/unpack copies.
+
+use crate::engine::common::{group_by_window, merge_pieces, ClientStream, Piece};
+use crate::error::Result;
+use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
+use crate::meta::ClientAccess;
+use crate::realm::{AssignCtx, EvenAar, FileRealm, PersistentBlockCyclic, RealmAssigner};
+use flexio_io::{read_packed, resolve, write_packed, Resolved};
+use flexio_pfs::FileHandle;
+use flexio_sim::{Phase, Rank};
+use flexio_types::MemLayout;
+
+/// Direction + user buffer for one collective call.
+pub enum DataBuf<'a> {
+    /// Collective write: data flows user buffer → file.
+    Write(&'a [u8]),
+    /// Collective read: data flows file → user buffer.
+    Read(&'a mut [u8]),
+}
+
+impl DataBuf<'_> {
+    fn is_write(&self) -> bool {
+        matches!(self, DataBuf::Write(_))
+    }
+}
+
+/// Run one collective read/write with the flexible engine. Must be called
+/// by every rank of the world (standard collective semantics); ranks with
+/// `my.data_len == 0` still participate in the exchanges.
+#[allow(clippy::too_many_lines)]
+pub fn run(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    mut buf: DataBuf<'_>,
+    hints: &Hints,
+    pfr_state: &mut Option<Vec<FileRealm>>,
+) -> Result<()> {
+    let nprocs = rank.nprocs();
+    let is_write = buf.is_write();
+
+    // ---- metadata exchange: flattened filetypes (D pairs each) ----------
+    rank.charge_pairs(my.view.d() as u64);
+    let wires = rank.allgatherv(&my.to_wire());
+    let clients: Vec<ClientAccess> = wires.iter().map(|w| ClientAccess::from_wire(w)).collect();
+    rank.charge_pairs(clients.iter().map(|c| c.view.d() as u64).sum());
+
+    // ---- aggregate access region ----------------------------------------
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for c in &clients {
+        if let Some((a, b)) = c.file_range() {
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+    }
+    if hi <= lo {
+        return Ok(()); // every rank's access is empty; all agree
+    }
+
+    // ---- realm assignment -------------------------------------------------
+    let n_agg = hints.aggregators(nprocs);
+    let agg_ranks = aggregator_ranks(n_agg, nprocs);
+    let ctx = AssignCtx {
+        aar: (lo, hi),
+        n_aggregators: n_agg,
+        alignment: hints.fr_alignment,
+        clients: &clients,
+    };
+    let realms: Vec<FileRealm> = if hints.persistent_file_realms {
+        if pfr_state.is_none() {
+            let assigned = match &hints.realm_assigner {
+                Some(a) => a.assign(&ctx),
+                None => PersistentBlockCyclic.assign(&ctx),
+            };
+            *pfr_state = Some(assigned);
+        }
+        pfr_state.clone().unwrap()
+    } else {
+        match &hints.realm_assigner {
+            Some(a) => a.assign(&ctx),
+            None => EvenAar.assign(&ctx),
+        }
+    };
+    assert_eq!(realms.len(), n_agg, "assigner must produce one realm per aggregator");
+
+    // ---- cycle counts -------------------------------------------------------
+    let cb = hints.cb_buffer_size as u64;
+    let spans: Vec<(u64, u64)> = realms.iter().map(|r| (r.data_lower(lo), r.data_lower(hi))).collect();
+    let ntimes = spans.iter().map(|(b, c)| (c - b).div_ceil(cb)).max().unwrap_or(0);
+
+    // ---- per-pair state ------------------------------------------------------
+    let my_agg_idx = agg_ranks.iter().position(|&r| r == rank.rank());
+    let mut agg_streams: Vec<ClientStream> = if my_agg_idx.is_some() {
+        clients.iter().cloned().map(ClientStream::new).collect()
+    } else {
+        Vec::new()
+    };
+    let mut my_streams: Vec<ClientStream> =
+        (0..n_agg).map(|_| ClientStream::new(my.clone())).collect();
+
+    // ---- buffer cycles ---------------------------------------------------------
+    for t in 0..ntimes {
+        // Every rank derives every aggregator's window (realms are
+        // deterministic, so no extra communication is needed).
+        let windows: Vec<Vec<(u64, u64)>> = (0..n_agg)
+            .map(|a| {
+                let (base, cap) = spans[a];
+                let d0 = base + t * cb;
+                let d1 = (base + (t + 1) * cb).min(cap);
+                if d0 >= d1 {
+                    Vec::new()
+                } else {
+                    realms[a].segments(d0, d1)
+                }
+            })
+            .collect();
+        rank.charge_pairs(windows.iter().map(|w| w.len() as u64).sum());
+
+        // Client role: my pieces inside each aggregator's window.
+        let mut my_pieces: Vec<Vec<Piece>> = Vec::with_capacity(n_agg);
+        for a in 0..n_agg {
+            let (p, charged) = my_streams[a].take_window(&windows[a]);
+            rank.charge_pairs(charged);
+            my_pieces.push(p);
+        }
+
+        // Aggregator role: every client's pieces inside my window.
+        let agg_pieces: Vec<(usize, Vec<Piece>)> = if let Some(ai) = my_agg_idx {
+            let w = &windows[ai];
+            agg_streams
+                .iter_mut()
+                .enumerate()
+                .map(|(c, s)| {
+                    let (p, charged) = s.take_window(w);
+                    rank.charge_pairs(charged);
+                    (c, p)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let my_window: &[(u64, u64)] = match my_agg_idx {
+            Some(ai) => &windows[ai],
+            None => &[],
+        };
+        if is_write {
+            cycle_write(
+                rank, handle, my, mem, &buf, hints, &agg_ranks, &my_pieces, &agg_pieces,
+                my_window,
+            );
+        } else {
+            cycle_read(
+                rank, handle, my, mem, &mut buf, hints, &agg_ranks, &my_pieces, &agg_pieces,
+                my_window,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Pack this rank's outgoing payload for one aggregator.
+fn pack_payload(
+    rank: &Rank,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    user: &[u8],
+    pieces: &[Piece],
+    hints: &Hints,
+) -> Vec<u8> {
+    let total: u64 = pieces.iter().map(|p| p.len).sum();
+    let mut payload = vec![0u8; total as usize];
+    let mut pos = 0usize;
+    for p in pieces {
+        mem.gather(user, p.data_pos - my.data_start, &mut payload[pos..pos + p.len as usize]);
+        pos += p.len as usize;
+    }
+    if matches!(hints.exchange, ExchangeMode::Nonblocking) {
+        // Alltoallw sends straight from the user buffer; the non-blocking
+        // path packs first (§5.4).
+        rank.charge_memcpy(total);
+    }
+    payload
+}
+
+/// Estimate the period of an aggregated segment group: the average
+/// distance between consecutive segment starts. For the paper's regular
+/// workloads this equals the datatype extent, which §6.3 found to be the
+/// right metric for conditional data sieving; unlike the raw filetype
+/// extent it stays meaningful when many clients' filetypes interleave
+/// densely at the aggregator.
+fn group_period(group: &[(u64, u64)]) -> u64 {
+    match group {
+        [] => 0,
+        [only] => only.1,
+        _ => {
+            let span = group.last().unwrap().0 + group.last().unwrap().1 - group[0].0;
+            span / group.len() as u64
+        }
+    }
+}
+
+/// Move data for one write cycle and commit the collective buffer.
+#[allow(clippy::too_many_arguments)]
+fn cycle_write(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    buf: &DataBuf<'_>,
+    hints: &Hints,
+    agg_ranks: &[usize],
+    my_pieces: &[Vec<Piece>],
+    agg_pieces: &[(usize, Vec<Piece>)],
+    window: &[(u64, u64)],
+) {
+    let user = match buf {
+        DataBuf::Write(b) => *b,
+        DataBuf::Read(_) => unreachable!(),
+    };
+    // Sends: client -> aggregators.
+    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+    for (a, pieces) in my_pieces.iter().enumerate() {
+        if pieces.is_empty() {
+            continue;
+        }
+        sends.push((agg_ranks[a], pack_payload(rank, my, mem, user, pieces, hints)));
+    }
+    let recv_from: Vec<usize> =
+        agg_pieces.iter().filter(|(_, p)| !p.is_empty()).map(|(c, _)| *c).collect();
+
+    let received: Vec<(usize, Vec<u8>)> = match hints.exchange {
+        ExchangeMode::Nonblocking => rank.exchange(&sends, &recv_from),
+        ExchangeMode::Alltoallw => {
+            let mut blocks = vec![Vec::new(); rank.nprocs()];
+            for (dst, payload) in sends {
+                blocks[dst] = payload;
+            }
+            let out = rank.alltoallv(blocks);
+            recv_from.iter().map(|&c| (c, out[c].clone())).collect()
+        }
+    };
+    if agg_pieces.iter().all(|(_, p)| p.is_empty()) {
+        return; // nothing owned this cycle (or not an aggregator)
+    }
+
+    // Assemble the collective buffer in file order.
+    let nonempty: Vec<(usize, Vec<Piece>)> =
+        agg_pieces.iter().filter(|(_, p)| !p.is_empty()).cloned().collect();
+    let (entries, segs) = merge_pieces(&nonempty);
+    let total: u64 = entries.iter().map(|e| e.3).sum();
+    let mut packed = vec![0u8; total as usize];
+    let mut recv_cursor: std::collections::HashMap<usize, (usize, usize)> =
+        received.iter().enumerate().map(|(i, (c, _))| (*c, (i, 0usize))).collect();
+    let mut pos = 0usize;
+    for &(_off, client, _piece, len) in &entries {
+        let (ri, consumed) = recv_cursor.get_mut(&client).expect("payload for client missing");
+        let src = &received[*ri].1;
+        packed[pos..pos + len as usize].copy_from_slice(&src[*consumed..*consumed + len as usize]);
+        *consumed += len as usize;
+        pos += len as usize;
+    }
+    if matches!(hints.exchange, ExchangeMode::Nonblocking) {
+        rank.charge_memcpy(total); // assembly into the collective buffer
+    }
+    // One buffer-to-file request per realm chunk: sieving must never span
+    // a realm boundary (the gap would belong to another aggregator).
+    let t0 = rank.now();
+    let mut t = t0;
+    let mut pos = 0usize;
+    for (wi, group) in group_by_window(&segs, window) {
+        let glen: u64 = group.iter().map(|(_, l)| l).sum();
+        let period = group_period(&group);
+        // Lock the whole realm chunk (as ROMIO locks the sieve extent).
+        // Realm chunks are stable across calls under persistent file
+        // realms, so the lock is acquired once and reused.
+        t = handle.lock_range(t, window[wi].0, window[wi].1);
+        // Double buffering (§5.1/§6.2): sieving beneath the collective
+        // buffer copies once more, collective buffer -> sieve buffer.
+        if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
+            rank.charge_memcpy(glen);
+        }
+        t = write_packed(
+            handle,
+            t,
+            &group,
+            &packed[pos..pos + glen as usize],
+            &hints.io_method,
+            period,
+        );
+        pos += glen as usize;
+    }
+    rank.advance_to(t);
+    rank.note_phase(Phase::Io, t.saturating_sub(t0));
+}
+
+/// Move data for one read cycle: aggregators read and distribute.
+#[allow(clippy::too_many_arguments)]
+fn cycle_read(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    buf: &mut DataBuf<'_>,
+    hints: &Hints,
+    agg_ranks: &[usize],
+    my_pieces: &[Vec<Piece>],
+    agg_pieces: &[(usize, Vec<Piece>)],
+    window: &[(u64, u64)],
+) {
+    // Aggregator: read my window's data and split it per client.
+    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+    if agg_pieces.iter().any(|(_, p)| !p.is_empty()) {
+        let nonempty: Vec<(usize, Vec<Piece>)> =
+            agg_pieces.iter().filter(|(_, p)| !p.is_empty()).cloned().collect();
+        let (entries, segs) = merge_pieces(&nonempty);
+        let total: u64 = entries.iter().map(|e| e.3).sum();
+        let mut packed = vec![0u8; total as usize];
+        let t0 = rank.now();
+        let mut t = t0;
+        let mut pos = 0usize;
+        for (wi, group) in group_by_window(&segs, window) {
+            let glen: u64 = group.iter().map(|(_, l)| l).sum();
+            let period = group_period(&group);
+            t = handle.lock_range(t, window[wi].0, window[wi].1);
+            if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
+                rank.charge_memcpy(glen); // sieve buffer -> collective buffer
+            }
+            t = read_packed(
+                handle,
+                t,
+                &group,
+                &mut packed[pos..pos + glen as usize],
+                &hints.io_method,
+                period,
+            );
+            pos += glen as usize;
+        }
+        rank.advance_to(t);
+        rank.note_phase(Phase::Io, t.saturating_sub(t0));
+        // Slice the packed buffer back out per client, in entry order
+        // (within a client, entry order == the client's own piece order).
+        let mut per_client: std::collections::HashMap<usize, Vec<u8>> = Default::default();
+        let mut pos = 0usize;
+        for &(_off, client, _piece, len) in &entries {
+            per_client
+                .entry(client)
+                .or_default()
+                .extend_from_slice(&packed[pos..pos + len as usize]);
+            pos += len as usize;
+        }
+        if matches!(hints.exchange, ExchangeMode::Nonblocking) {
+            rank.charge_memcpy(total); // collective buffer -> send payloads
+        }
+        let mut targets: Vec<usize> = per_client.keys().copied().collect();
+        targets.sort_unstable();
+        for c in targets {
+            sends.push((c, per_client.remove(&c).unwrap()));
+        }
+    }
+    // Client: receive from every aggregator whose window holds my data.
+    let recv_from: Vec<usize> = my_pieces
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_empty())
+        .map(|(a, _)| agg_ranks[a])
+        .collect();
+    let received: Vec<(usize, Vec<u8>)> = match hints.exchange {
+        ExchangeMode::Nonblocking => rank.exchange(&sends, &recv_from),
+        ExchangeMode::Alltoallw => {
+            let mut blocks = vec![Vec::new(); rank.nprocs()];
+            for (dst, payload) in sends {
+                blocks[dst] = payload;
+            }
+            let out = rank.alltoallv(blocks);
+            recv_from.iter().map(|&a| (a, out[a].clone())).collect()
+        }
+    };
+    // Scatter into the user buffer.
+    let user = match buf {
+        DataBuf::Read(b) => &mut **b,
+        DataBuf::Write(_) => unreachable!(),
+    };
+    let mut by_src: std::collections::HashMap<usize, Vec<u8>> = received.into_iter().collect();
+    for (a, pieces) in my_pieces.iter().enumerate() {
+        if pieces.is_empty() {
+            continue;
+        }
+        let payload = by_src.remove(&agg_ranks[a]).expect("missing aggregator payload");
+        let mut pos = 0usize;
+        let mut total = 0u64;
+        for p in pieces {
+            mem.scatter(user, p.data_pos - my.data_start, &payload[pos..pos + p.len as usize]);
+            pos += p.len as usize;
+            total += p.len;
+        }
+        if matches!(hints.exchange, ExchangeMode::Nonblocking) {
+            rank.charge_memcpy(total); // unpack into user memory
+        }
+    }
+}

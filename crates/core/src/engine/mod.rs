@@ -1,0 +1,14 @@
+//! The two-phase collective I/O engines.
+//!
+//! [`flexible`] is the paper's new implementation; [`romio`] re-implements
+//! the original ROMIO code path as the evaluation baseline. Both move the
+//! same bytes — integration tests assert byte equality — but they charge
+//! different computation, metadata volume, and buffer copies, which is
+//! where the Fig. 4 performance differences come from.
+
+pub mod common;
+pub mod flexible;
+pub mod romio;
+
+pub use common::{intersect_window, merge_pieces, ClientStream, Piece};
+pub use flexible::DataBuf;

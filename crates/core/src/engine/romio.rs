@@ -1,0 +1,455 @@
+//! Faithful re-implementation of the *original* ROMIO two-phase code path,
+//! used as the paper's baseline ("old+vector" in Fig. 4).
+//!
+//! Characteristics (§5.3):
+//! * each client **flattens its entire access** into `M` offset/length
+//!   pairs up front and ships each aggregator its relevant sub-list — the
+//!   metadata volume is O(M), but processing is O(M) too;
+//! * file realms are always the even aggregate-access-region split —
+//!   no alignment, no persistence, no pluggable assigners;
+//! * data sieving is **integrated**: the collective buffer *is* the sieve
+//!   buffer, so there is one less copy than the flexible engine, but the
+//!   buffer-to-file method cannot be changed, and gap data lives in the
+//!   collective buffer.
+
+use crate::engine::common::Piece;
+use crate::engine::flexible::DataBuf;
+use crate::error::Result;
+use crate::hints::{aggregator_ranks, Hints};
+use crate::meta::ClientAccess;
+use flexio_pfs::FileHandle;
+use flexio_sim::{Phase, Rank};
+use flexio_types::MemLayout;
+
+fn encode_pairs(pieces: &[Piece]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pieces.len() * 16);
+    for p in pieces {
+        out.extend_from_slice(&p.file_off.to_le_bytes());
+        out.extend_from_slice(&p.len.to_le_bytes());
+    }
+    out
+}
+
+fn decode_pairs(buf: &[u8]) -> Vec<(u64, u64)> {
+    buf.chunks_exact(16)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                u64::from_le_bytes(c[8..16].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+/// Take the pieces of `list[*idx..]` that start below `win_end`, splitting
+/// a piece that crosses the boundary. `split_tail` holds a partially
+/// consumed piece carried between cycles.
+fn take_below_window(
+    list: &[Piece],
+    idx: &mut usize,
+    split_tail: &mut Option<Piece>,
+    win_end: u64,
+) -> Vec<Piece> {
+    let mut out = Vec::new();
+    if let Some(tail) = split_tail.take() {
+        if tail.file_off < win_end {
+            let take = tail.len.min(win_end - tail.file_off);
+            out.push(Piece { file_off: tail.file_off, data_pos: tail.data_pos, len: take });
+            if take < tail.len {
+                *split_tail = Some(Piece {
+                    file_off: tail.file_off + take,
+                    data_pos: tail.data_pos + take,
+                    len: tail.len - take,
+                });
+                return out;
+            }
+        } else {
+            *split_tail = Some(tail);
+            return out;
+        }
+    }
+    while *idx < list.len() && list[*idx].file_off < win_end {
+        let p = list[*idx];
+        *idx += 1;
+        let take = p.len.min(win_end - p.file_off);
+        out.push(Piece { file_off: p.file_off, data_pos: p.data_pos, len: take });
+        if take < p.len {
+            *split_tail = Some(Piece {
+                file_off: p.file_off + take,
+                data_pos: p.data_pos + take,
+                len: p.len - take,
+            });
+            break;
+        }
+    }
+    out
+}
+
+/// Run one collective read/write with the original ROMIO algorithm.
+#[allow(clippy::too_many_lines)]
+pub fn run(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    mut buf: DataBuf<'_>,
+    hints: &Hints,
+) -> Result<()> {
+    let nprocs = rank.nprocs();
+    let is_write = matches!(buf, DataBuf::Write(_));
+
+    // ---- flatten the ENTIRE access into M offset/length pairs ------------
+    let mut all_pieces: Vec<Piece> = Vec::new();
+    if my.data_len > 0 {
+        let mut cur = my.view.cursor(my.data_start);
+        let end = my.data_end();
+        while cur.data_pos() < end {
+            let p = cur.take(end - cur.data_pos());
+            all_pieces.push(Piece { file_off: p.file_off, data_pos: p.data_pos, len: p.len });
+        }
+        rank.charge_pairs(cur.evaluated());
+    }
+    let m = all_pieces.len() as u64;
+
+    // ---- aggregate access region (scalar allgather) -----------------------
+    let (first, end) = match my.file_range() {
+        Some((a, b)) => (a, b),
+        None => (u64::MAX, 0),
+    };
+    let mut scalar = Vec::with_capacity(16);
+    scalar.extend_from_slice(&first.to_le_bytes());
+    scalar.extend_from_slice(&end.to_le_bytes());
+    let ranges = rank.allgatherv(&scalar);
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for r in &ranges {
+        let a = u64::from_le_bytes(r[0..8].try_into().unwrap());
+        let b = u64::from_le_bytes(r[8..16].try_into().unwrap());
+        if b > 0 {
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+    }
+    if hi <= lo {
+        return Ok(());
+    }
+
+    // ---- even AAR realms; ship each aggregator its pair sub-list ----------
+    // The old code's realms are always the unaligned even split of the
+    // aggregate access region: boundaries are a closed formula.
+    let n_agg = hints.aggregators(nprocs);
+    let agg_ranks = aggregator_ranks(n_agg, nprocs);
+    let len_aar = hi - lo;
+    let bounds: Vec<u64> =
+        (0..=n_agg as u64).map(|i| lo + len_aar * i / n_agg as u64).collect();
+
+    // Partition my pieces by realm (splitting boundary-crossers), O(M).
+    let mut per_agg: Vec<Vec<Piece>> = vec![Vec::new(); n_agg];
+    for p in &all_pieces {
+        let mut off = p.file_off;
+        let mut data = p.data_pos;
+        let mut len = p.len;
+        while len > 0 {
+            let a = bounds[1..n_agg].partition_point(|&b| b <= off);
+            let realm_end = bounds[a + 1];
+            let take = len.min(realm_end - off);
+            per_agg[a].push(Piece { file_off: off, data_pos: data, len: take });
+            off += take;
+            data += take;
+            len -= take;
+        }
+    }
+    rank.charge_pairs(m);
+
+    // Send every aggregator its offset/length list (O(M) metadata bytes).
+    let blocks: Vec<Vec<u8>> = {
+        let mut b = vec![Vec::new(); nprocs];
+        for (a, list) in per_agg.iter().enumerate() {
+            if !list.is_empty() {
+                b[agg_ranks[a]] = encode_pairs(list);
+            }
+        }
+        b
+    };
+    let lists_in = rank.alltoallv(blocks);
+
+    // Aggregator: decode everyone's requests for my realm.
+    let my_agg_idx = agg_ranks.iter().position(|&r| r == rank.rank());
+    let mut others: Vec<Vec<(u64, u64)>> = Vec::new();
+    let (mut st, mut en) = (u64::MAX, 0u64);
+    if my_agg_idx.is_some() {
+        others = lists_in.iter().map(|b| decode_pairs(b)).collect();
+        let m_recv: u64 = others.iter().map(|l| l.len() as u64).sum();
+        rank.charge_pairs(m_recv);
+        for l in &others {
+            if let Some(&(o, _)) = l.first() {
+                st = st.min(o);
+            }
+            if let Some(&(o, len)) = l.last() {
+                en = en.max(o + len);
+            }
+        }
+    }
+
+    // Everyone learns each aggregator's actual data bounds.
+    let mut bscal = Vec::with_capacity(16);
+    bscal.extend_from_slice(&st.to_le_bytes());
+    bscal.extend_from_slice(&en.to_le_bytes());
+    let all_bounds = rank.allgatherv(&bscal);
+    let agg_bounds: Vec<(u64, u64)> = agg_ranks
+        .iter()
+        .map(|&ar| {
+            let b = &all_bounds[ar];
+            (
+                u64::from_le_bytes(b[0..8].try_into().unwrap()),
+                u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            )
+        })
+        .collect();
+
+    let cb = hints.cb_buffer_size as u64;
+    let ntimes = agg_bounds
+        .iter()
+        .map(|&(s, e)| if e > s { (e - s).div_ceil(cb) } else { 0 })
+        .max()
+        .unwrap_or(0);
+
+    // ---- cycle state -------------------------------------------------------
+    // Client side: per-aggregator index + split carry into my lists.
+    let mut cli_idx = vec![0usize; n_agg];
+    let mut cli_tail: Vec<Option<Piece>> = vec![None; n_agg];
+    // Aggregator side: per-client index + split carry into received lists.
+    let mut agg_idx = vec![0usize; nprocs];
+    let mut agg_tail: Vec<Option<(u64, u64)>> = vec![None; nprocs];
+
+    for t in 0..ntimes {
+        // Window per aggregator, in file space (the old code cycles over
+        // the realm's file extent, not its data stream).
+        let windows: Vec<Option<(u64, u64)>> = agg_bounds
+            .iter()
+            .map(|&(s, e)| {
+                if e <= s {
+                    return None;
+                }
+                let w0 = s + t * cb;
+                let w1 = (s + (t + 1) * cb).min(e);
+                if w0 >= w1 {
+                    None
+                } else {
+                    Some((w0, w1))
+                }
+            })
+            .collect();
+
+        // Client: pieces to each aggregator this cycle.
+        let mut my_cycle: Vec<Vec<Piece>> = Vec::with_capacity(n_agg);
+        for a in 0..n_agg {
+            let pieces = match windows[a] {
+                Some((_, w1)) => {
+                    take_below_window(&per_agg[a], &mut cli_idx[a], &mut cli_tail[a], w1)
+                }
+                None => Vec::new(),
+            };
+            my_cycle.push(pieces);
+        }
+
+        // Aggregator: requests from each client this cycle.
+        let mut agg_cycle: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nprocs];
+        if let Some(ai) = my_agg_idx {
+            if let Some((_, w1)) = windows[ai] {
+                for (c, list) in others.iter().enumerate() {
+                    // Reuse the generic splitter via a Piece shim.
+                    let mut out = Vec::new();
+                    if let Some((o, l)) = agg_tail[c].take() {
+                        if o < w1 {
+                            let take = l.min(w1 - o);
+                            out.push((o, take));
+                            if take < l {
+                                agg_tail[c] = Some((o + take, l - take));
+                            }
+                        } else {
+                            agg_tail[c] = Some((o, l));
+                        }
+                    }
+                    if agg_tail[c].is_none() {
+                        while agg_idx[c] < list.len() && list[agg_idx[c]].0 < w1 {
+                            let (o, l) = list[agg_idx[c]];
+                            agg_idx[c] += 1;
+                            let take = l.min(w1 - o);
+                            out.push((o, take));
+                            if take < l {
+                                agg_tail[c] = Some((o + take, l - take));
+                                break;
+                            }
+                        }
+                    }
+                    agg_cycle[c] = out;
+                }
+            }
+        }
+
+        if is_write {
+            romio_cycle_write(
+                rank, handle, my, mem, &buf, &agg_ranks, &my_cycle, &agg_cycle, my_agg_idx,
+            );
+        } else {
+            romio_cycle_read(
+                rank, handle, my, mem, &mut buf, &agg_ranks, &my_cycle, &agg_cycle, my_agg_idx,
+            );
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn romio_cycle_write(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    buf: &DataBuf<'_>,
+    agg_ranks: &[usize],
+    my_cycle: &[Vec<Piece>],
+    agg_cycle: &[Vec<(u64, u64)>],
+    my_agg_idx: Option<usize>,
+) {
+    let user = match buf {
+        DataBuf::Write(b) => *b,
+        DataBuf::Read(_) => unreachable!(),
+    };
+    // Client -> aggregator payloads (non-blocking exchange, as the old
+    // code does; packing is charged).
+    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+    for (a, pieces) in my_cycle.iter().enumerate() {
+        if pieces.is_empty() {
+            continue;
+        }
+        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        let mut payload = vec![0u8; total as usize];
+        let mut pos = 0usize;
+        for p in pieces {
+            mem.gather(user, p.data_pos - my.data_start, &mut payload[pos..pos + p.len as usize]);
+            pos += p.len as usize;
+        }
+        rank.charge_memcpy(total);
+        sends.push((agg_ranks[a], payload));
+    }
+    let recv_from: Vec<usize> = agg_cycle
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(c, _)| c)
+        .collect();
+    let received = rank.exchange(&sends, &recv_from);
+    if my_agg_idx.is_none() || recv_from.is_empty() {
+        return;
+    }
+
+    // Integrated sieve: single buffer spanning [blo, bhi).
+    let mut blo = u64::MAX;
+    let mut bhi = 0u64;
+    let mut covered = 0u64;
+    for l in agg_cycle {
+        for &(o, len) in l {
+            blo = blo.min(o);
+            bhi = bhi.max(o + len);
+            covered += len;
+        }
+    }
+    let span = bhi - blo;
+    let mut cbuf = vec![0u8; span as usize];
+    let holes = covered < span;
+    let mut t = rank.now();
+    if holes {
+        let t0 = t;
+        t = handle.read(t, blo, &mut cbuf);
+        rank.note_phase(Phase::Io, t - t0);
+    }
+    // Place every client's payload directly into the collective buffer
+    // (this IS the sieve buffer: one copy total).
+    let mut total_placed = 0u64;
+    for (src, payload) in &received {
+        let mut pos = 0usize;
+        for &(o, len) in &agg_cycle[*src] {
+            cbuf[(o - blo) as usize..(o - blo + len) as usize]
+                .copy_from_slice(&payload[pos..pos + len as usize]);
+            pos += len as usize;
+            total_placed += len;
+        }
+    }
+    rank.charge_memcpy(total_placed);
+    let t0 = t;
+    let t_done = handle.write(t, blo, &cbuf);
+    rank.advance_to(t_done);
+    rank.note_phase(Phase::Io, t_done - t0);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn romio_cycle_read(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    buf: &mut DataBuf<'_>,
+    agg_ranks: &[usize],
+    my_cycle: &[Vec<Piece>],
+    agg_cycle: &[Vec<(u64, u64)>],
+    my_agg_idx: Option<usize>,
+) {
+    // Aggregator: one sieving read of the spanning range, then slice.
+    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+    if my_agg_idx.is_some() && agg_cycle.iter().any(|l| !l.is_empty()) {
+        let mut blo = u64::MAX;
+        let mut bhi = 0u64;
+        for l in agg_cycle {
+            for &(o, len) in l {
+                blo = blo.min(o);
+                bhi = bhi.max(o + len);
+            }
+        }
+        let mut cbuf = vec![0u8; (bhi - blo) as usize];
+        let t0 = rank.now();
+        let t = handle.read(t0, blo, &mut cbuf);
+        rank.advance_to(t);
+        rank.note_phase(Phase::Io, t - t0);
+        let mut total = 0u64;
+        for (c, l) in agg_cycle.iter().enumerate() {
+            if l.is_empty() {
+                continue;
+            }
+            let mut payload = Vec::with_capacity(l.iter().map(|&(_, n)| n as usize).sum());
+            for &(o, len) in l {
+                payload.extend_from_slice(&cbuf[(o - blo) as usize..(o - blo + len) as usize]);
+                total += len;
+            }
+            sends.push((c, payload));
+        }
+        rank.charge_memcpy(total);
+    }
+    let recv_from: Vec<usize> = my_cycle
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_empty())
+        .map(|(a, _)| agg_ranks[a])
+        .collect();
+    let received = rank.exchange(&sends, &recv_from);
+    let user = match buf {
+        DataBuf::Read(b) => &mut **b,
+        DataBuf::Write(_) => unreachable!(),
+    };
+    let mut by_src: std::collections::HashMap<usize, Vec<u8>> = received.into_iter().collect();
+    for (a, pieces) in my_cycle.iter().enumerate() {
+        if pieces.is_empty() {
+            continue;
+        }
+        let payload = by_src.remove(&agg_ranks[a]).expect("missing payload");
+        let mut pos = 0usize;
+        let mut total = 0u64;
+        for p in pieces {
+            mem.scatter(user, p.data_pos - my.data_start, &payload[pos..pos + p.len as usize]);
+            pos += p.len as usize;
+            total += p.len;
+        }
+        rank.charge_memcpy(total);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the collective I/O layer.
+
+use flexio_types::ViewError;
+
+/// Errors surfaced by the MPI-IO-like API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Invalid file view (bad filetype).
+    View(ViewError),
+    /// The buffer is too small for `count` instances of the memory type.
+    BufferTooSmall {
+        /// Bytes required.
+        needed: u64,
+        /// Bytes provided.
+        got: u64,
+    },
+    /// A hint combination is invalid.
+    BadHints(&'static str),
+}
+
+impl From<ViewError> for IoError {
+    fn from(e: ViewError) -> Self {
+        IoError::View(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::View(e) => write!(f, "invalid file view: {e}"),
+            IoError::BufferTooSmall { needed, got } => {
+                write!(f, "buffer too small: need {needed} bytes, got {got}")
+            }
+            IoError::BadHints(s) => write!(f, "bad hints: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, IoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = IoError::BufferTooSmall { needed: 10, got: 5 };
+        assert!(e.to_string().contains("need 10"));
+        let e = IoError::View(ViewError::EmptyFiletype);
+        assert!(e.to_string().contains("filetype"));
+        assert!(IoError::BadHints("x").to_string().contains("x"));
+    }
+}

@@ -1,0 +1,294 @@
+//! The MPI-IO-like file object: open, set_view, collective and
+//! independent reads/writes, close.
+
+use crate::engine::{self, DataBuf};
+use crate::error::{IoError, Result};
+use crate::hints::{Engine, Hints};
+use crate::meta::ClientAccess;
+use crate::realm::FileRealm;
+use flexio_io::{read_packed, write_packed};
+use flexio_pfs::{FileHandle, Pfs};
+use flexio_sim::{Phase, Rank};
+use flexio_types::{flatten, Datatype, FileView, MemLayout};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// An open file with MPI-IO semantics, bound to one rank of a simulated
+/// world. All `*_all` operations are collective: every rank of the world
+/// must call them in the same order.
+///
+/// ```no_run
+/// use flexio_core::{Hints, MpiFile};
+/// use flexio_pfs::{Pfs, PfsConfig};
+/// use flexio_sim::{run, CostModel};
+/// use flexio_types::Datatype;
+///
+/// let pfs = Pfs::new(PfsConfig::default());
+/// run(4, CostModel::default(), |rank| {
+///     let mut f = MpiFile::open(rank, &pfs, "out", Hints::default()).unwrap();
+///     // Interleave 64-byte blocks from the 4 ranks.
+///     let block = Datatype::bytes(64);
+///     let ftype = Datatype::resized(0, 4 * 64, block.clone());
+///     f.set_view((rank.rank() * 64) as u64, &block, &ftype).unwrap();
+///     let data = vec![rank.rank() as u8; 1024];
+///     f.write_all(&data, &Datatype::bytes(1024), 1).unwrap();
+///     f.close();
+/// });
+/// ```
+pub struct MpiFile<'r> {
+    rank: &'r Rank,
+    handle: FileHandle,
+    view: FileView,
+    hints: Hints,
+    pfr_realms: RefCell<Option<Vec<FileRealm>>>,
+}
+
+impl<'r> MpiFile<'r> {
+    /// Collectively open (creating if necessary) `path`.
+    pub fn open(rank: &'r Rank, pfs: &Arc<Pfs>, path: &str, hints: Hints) -> Result<Self> {
+        hints.validate()?;
+        let handle = pfs.open(path, rank.rank());
+        rank.barrier();
+        Ok(MpiFile {
+            rank,
+            handle,
+            view: FileView::contiguous(0),
+            hints,
+            pfr_realms: RefCell::new(None),
+        })
+    }
+
+    /// The hints in effect.
+    pub fn hints(&self) -> &Hints {
+        &self.hints
+    }
+
+    /// Replace the hints (e.g. to switch engine or I/O method mid-run).
+    pub fn set_hints(&mut self, hints: Hints) -> Result<()> {
+        hints.validate()?;
+        self.hints = hints;
+        Ok(())
+    }
+
+    /// The current file view.
+    pub fn view(&self) -> &FileView {
+        &self.view
+    }
+
+    /// Logical file size in bytes.
+    pub fn size(&self) -> u64 {
+        self.handle.size()
+    }
+
+    /// Collective `MPI_File_set_view`: tile `filetype` from byte `disp`.
+    /// The etype defines the offset unit for the `*_at` operations.
+    pub fn set_view(&mut self, disp: u64, etype: &Datatype, filetype: &Datatype) -> Result<()> {
+        let flat = Arc::new(flatten(filetype));
+        self.rank.charge_pairs(flat.segs.len() as u64);
+        self.view = FileView::new(disp, flat, etype.size())?;
+        self.rank.barrier();
+        Ok(())
+    }
+
+    fn access_for(&self, offset_etypes: u64, total: u64) -> ClientAccess {
+        ClientAccess {
+            view: self.view.clone(),
+            data_start: offset_etypes * self.view.etype_size(),
+            data_len: total,
+        }
+    }
+
+    fn mem_layout(&self, buf_len: usize, memtype: &Datatype, count: u64) -> Result<MemLayout> {
+        let mem = MemLayout::new(Arc::new(flatten(memtype)), count);
+        let needed = mem.span();
+        if needed > buf_len as u64 {
+            return Err(IoError::BufferTooSmall { needed, got: buf_len as u64 });
+        }
+        Ok(mem)
+    }
+
+    /// Collective write of `count` instances of `memtype` from `buf`,
+    /// starting at the view's origin (etype offset 0).
+    pub fn write_all(&self, buf: &[u8], memtype: &Datatype, count: u64) -> Result<()> {
+        self.write_all_at(0, buf, memtype, count)
+    }
+
+    /// Collective write at an explicit etype offset into the view.
+    pub fn write_all_at(
+        &self,
+        offset_etypes: u64,
+        buf: &[u8],
+        memtype: &Datatype,
+        count: u64,
+    ) -> Result<()> {
+        let mem = self.mem_layout(buf.len(), memtype, count)?;
+        let acc = self.access_for(offset_etypes, mem.total());
+        self.run_engine(&acc, &mem, DataBuf::Write(buf))
+    }
+
+    /// Collective read of `count` instances of `memtype` into `buf`,
+    /// starting at the view's origin.
+    pub fn read_all(&self, buf: &mut [u8], memtype: &Datatype, count: u64) -> Result<()> {
+        self.read_all_at(0, buf, memtype, count)
+    }
+
+    /// Collective read at an explicit etype offset into the view.
+    pub fn read_all_at(
+        &self,
+        offset_etypes: u64,
+        buf: &mut [u8],
+        memtype: &Datatype,
+        count: u64,
+    ) -> Result<()> {
+        let mem = self.mem_layout(buf.len(), memtype, count)?;
+        let acc = self.access_for(offset_etypes, mem.total());
+        self.run_engine(&acc, &mem, DataBuf::Read(buf))
+    }
+
+    fn run_engine(&self, acc: &ClientAccess, mem: &MemLayout, buf: DataBuf<'_>) -> Result<()> {
+        match self.hints.engine {
+            Engine::Flexible => {
+                let mut pfr = self.pfr_realms.borrow_mut();
+                engine::flexible::run(self.rank, &self.handle, acc, mem, buf, &self.hints, &mut pfr)
+            }
+            Engine::Romio => {
+                engine::romio::run(self.rank, &self.handle, acc, mem, buf, &self.hints)
+            }
+        }
+    }
+
+    /// Independent (non-collective) write through the view at an etype
+    /// offset, using the hinted independent I/O method (data sieving /
+    /// naive / conditional).
+    pub fn write_at(
+        &self,
+        offset_etypes: u64,
+        buf: &[u8],
+        memtype: &Datatype,
+        count: u64,
+    ) -> Result<()> {
+        let mem = self.mem_layout(buf.len(), memtype, count)?;
+        let total = mem.total();
+        if total == 0 {
+            return Ok(());
+        }
+        let (segs, packed) = self.flatten_access(offset_etypes, total, Some((buf, &mem)));
+        let t0 = self.rank.now();
+        let t = write_packed(
+            &self.handle,
+            t0,
+            &segs,
+            &packed,
+            &self.hints.io_method,
+            self.view.ftype().extent,
+        );
+        self.rank.advance_to(t);
+        self.rank.note_phase(Phase::Io, t - t0);
+        Ok(())
+    }
+
+    /// Independent read through the view at an etype offset.
+    pub fn read_at(
+        &self,
+        offset_etypes: u64,
+        buf: &mut [u8],
+        memtype: &Datatype,
+        count: u64,
+    ) -> Result<()> {
+        let mem = self.mem_layout(buf.len(), memtype, count)?;
+        let total = mem.total();
+        if total == 0 {
+            return Ok(());
+        }
+        let (segs, mut packed) = self.flatten_access(offset_etypes, total, None);
+        let t0 = self.rank.now();
+        let t = read_packed(
+            &self.handle,
+            t0,
+            &segs,
+            &mut packed,
+            &self.hints.io_method,
+            self.view.ftype().extent,
+        );
+        self.rank.advance_to(t);
+        self.rank.note_phase(Phase::Io, t - t0);
+        // Scatter the packed bytes into user memory piece by piece.
+        let start = offset_etypes * self.view.etype_size();
+        let mut cur = self.view.cursor(start);
+        let mut pos = 0usize;
+        while pos < packed.len() {
+            let p = cur.take(total - pos as u64);
+            mem.scatter(buf, p.data_pos - start, &packed[pos..pos + p.len as usize]);
+            pos += p.len as usize;
+        }
+        self.rank.charge_memcpy(total);
+        Ok(())
+    }
+
+    /// Flatten an access into sorted file segments; when `gather` is given,
+    /// also pack the user data (write case).
+    fn flatten_access(
+        &self,
+        offset_etypes: u64,
+        total: u64,
+        gather: Option<(&[u8], &MemLayout)>,
+    ) -> (Vec<(u64, u64)>, Vec<u8>) {
+        let start = offset_etypes * self.view.etype_size();
+        let mut cur = self.view.cursor(start);
+        let mut segs: Vec<(u64, u64)> = Vec::new();
+        let mut packed = vec![0u8; total as usize];
+        let mut done = 0u64;
+        while done < total {
+            let p = cur.take(total - done);
+            match segs.last_mut() {
+                Some(last) if last.0 + last.1 == p.file_off => last.1 += p.len,
+                _ => segs.push((p.file_off, p.len)),
+            }
+            if let Some((buf, mem)) = gather {
+                mem.gather(
+                    buf,
+                    p.data_pos - start,
+                    &mut packed[done as usize..(done + p.len) as usize],
+                );
+            }
+            done += p.len;
+        }
+        self.rank.charge_pairs(cur.evaluated());
+        if gather.is_some() {
+            self.rank.charge_memcpy(total);
+        }
+        (segs, packed)
+    }
+
+    /// Collective `MPI_File_set_size`: truncate or extend to `size` bytes.
+    pub fn set_size(&self, size: u64) {
+        // Collective: rank 0 performs the metadata operation.
+        if self.rank.rank() == 0 {
+            let t = self.handle.set_size(self.rank.now(), size);
+            self.rank.advance_to(t);
+        }
+        self.rank.barrier();
+    }
+
+    /// Collective `MPI_File_preallocate`: ensure storage for `size` bytes.
+    pub fn preallocate(&self, size: u64) {
+        if self.rank.rank() == 0 {
+            let t = self.handle.preallocate(self.rank.now(), size);
+            self.rank.advance_to(t);
+        }
+        self.rank.barrier();
+    }
+
+    /// Flush this rank's cached pages (if client caching is on).
+    pub fn sync(&self) {
+        let t = self.handle.flush(self.rank.now());
+        self.rank.advance_to(t);
+    }
+
+    /// Collective close: flush, release locks, barrier.
+    pub fn close(self) {
+        let t = self.handle.close(self.rank.now());
+        self.rank.advance_to(t);
+        self.rank.barrier();
+    }
+}

@@ -1,0 +1,147 @@
+//! MPI-Info-style hints controlling the collective I/O machinery.
+
+use crate::realm::RealmAssigner;
+use flexio_io::IoMethod;
+use std::sync::Arc;
+
+/// Which two-phase engine services collective calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The paper's new flexible implementation: datatype-described file
+    /// realms, flattened-filetype metadata exchange, pluggable buffer-to-
+    /// file methods per cycle.
+    #[default]
+    Flexible,
+    /// Faithful re-implementation of the original ROMIO code path: even
+    /// aggregate-access-region partition, fully flattened access metadata,
+    /// data sieving integrated with the collective buffer.
+    Romio,
+}
+
+/// How the data exchange phase moves bytes (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Sparse non-blocking sends/receives, overlapped with address
+    /// computation; packing/assembly copies are charged.
+    #[default]
+    Nonblocking,
+    /// `MPI_Alltoallw`-style dense collective operating directly on user /
+    /// collective buffers: no packing or assembly copies, but one message
+    /// per peer pair regardless of sparsity.
+    Alltoallw,
+}
+
+/// Tunables for collective and independent I/O, ROMIO-hint style.
+#[derive(Clone)]
+pub struct Hints {
+    /// Number of I/O aggregators (`cb_nodes`). `None` = every rank.
+    pub cb_nodes: Option<usize>,
+    /// Collective buffer size per aggregator per cycle (`cb_buffer_size`).
+    pub cb_buffer_size: usize,
+    /// How aggregators move the collective buffer to/from the file
+    /// (flexible engine only; the ROMIO engine always sieves, §5.1).
+    pub io_method: IoMethod,
+    /// Align file-realm boundaries to this many bytes (the paper's new
+    /// alignment hint, §6.4). Typically the stripe or page size.
+    pub fr_alignment: Option<u64>,
+    /// Keep file realms fixed across collective calls, anchored at byte 0
+    /// (persistent file realms, §5.2/§6.4).
+    pub persistent_file_realms: bool,
+    /// Data exchange flavour (§5.4).
+    pub exchange: ExchangeMode,
+    /// Engine selection.
+    pub engine: Engine,
+    /// Custom file-realm assigner; overrides the built-in choice
+    /// (even/aligned/persistent) when set. The paper's "plug in a new
+    /// optimization function to determine the file realms" (§5.2).
+    pub realm_assigner: Option<Arc<dyn RealmAssigner>>,
+}
+
+impl Default for Hints {
+    fn default() -> Self {
+        Hints {
+            cb_nodes: None,
+            cb_buffer_size: 4 << 20,
+            io_method: IoMethod::default(),
+            fr_alignment: None,
+            persistent_file_realms: false,
+            exchange: ExchangeMode::default(),
+            engine: Engine::default(),
+            realm_assigner: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Hints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hints")
+            .field("cb_nodes", &self.cb_nodes)
+            .field("cb_buffer_size", &self.cb_buffer_size)
+            .field("io_method", &self.io_method)
+            .field("fr_alignment", &self.fr_alignment)
+            .field("persistent_file_realms", &self.persistent_file_realms)
+            .field("exchange", &self.exchange)
+            .field("engine", &self.engine)
+            .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
+            .finish()
+    }
+}
+
+impl Hints {
+    /// Number of aggregators for a world of `nprocs` ranks.
+    pub fn aggregators(&self, nprocs: usize) -> usize {
+        self.cb_nodes.unwrap_or(nprocs).clamp(1, nprocs)
+    }
+
+    /// Validate hint consistency.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        if self.cb_buffer_size == 0 {
+            return Err(crate::error::IoError::BadHints("cb_buffer_size must be nonzero"));
+        }
+        if self.fr_alignment == Some(0) {
+            return Err(crate::error::IoError::BadHints("fr_alignment must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+/// Evenly spread `a` aggregator ranks over `nprocs` ranks (ROMIO picks one
+/// rank per node; we spread across the rank space).
+pub fn aggregator_ranks(a: usize, nprocs: usize) -> Vec<usize> {
+    assert!(a >= 1 && a <= nprocs);
+    (0..a).map(|i| i * nprocs / a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hints_valid() {
+        let h = Hints::default();
+        h.validate().unwrap();
+        assert_eq!(h.aggregators(16), 16);
+    }
+
+    #[test]
+    fn cb_nodes_clamped() {
+        let h = Hints { cb_nodes: Some(100), ..Hints::default() };
+        assert_eq!(h.aggregators(8), 8);
+        let h = Hints { cb_nodes: Some(0), ..Hints::default() };
+        assert_eq!(h.aggregators(8), 1);
+    }
+
+    #[test]
+    fn bad_hints_rejected() {
+        assert!(Hints { cb_buffer_size: 0, ..Hints::default() }.validate().is_err());
+        assert!(Hints { fr_alignment: Some(0), ..Hints::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn aggregator_ranks_spread() {
+        assert_eq!(aggregator_ranks(4, 8), vec![0, 2, 4, 6]);
+        assert_eq!(aggregator_ranks(8, 8), (0..8).collect::<Vec<_>>());
+        assert_eq!(aggregator_ranks(1, 5), vec![0]);
+        assert_eq!(aggregator_ranks(3, 7), vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,200 @@
+//! MPI_Info-style hint parsing: accepts the ROMIO hint names real
+//! applications already set, so configurations can be expressed as
+//! `(key, value)` string pairs (e.g. read from a job script).
+//!
+//! Recognized keys:
+//!
+//! | key | effect |
+//! |---|---|
+//! | `cb_nodes` | number of I/O aggregators |
+//! | `cb_buffer_size` | collective buffer bytes per cycle |
+//! | `romio_cb_write` / `romio_cb_read` | `enable`/`disable` collective buffering (disable = independent I/O beneath `*_all`; we map it to engine selection) |
+//! | `ind_wr_buffer_size` | data-sieve buffer bytes |
+//! | `romio_ds_write` | `enable` = always sieve, `disable` = naive, `automatic` = conditional |
+//! | `ds_extent_threshold` | conditional crossover bytes (flexio extension) |
+//! | `striping_unit` | file-realm alignment bytes (the paper's new hint) |
+//! | `flexio_pfr` | `enable` persistent file realms (the paper's PFR switch) |
+//! | `flexio_engine` | `flexible` or `romio` |
+//! | `flexio_exchange` | `nonblocking` or `alltoallw` |
+//!
+//! Unknown keys are ignored, as MPI requires.
+
+use crate::error::{IoError, Result};
+use crate::hints::{Engine, ExchangeMode, Hints};
+use flexio_io::IoMethod;
+
+/// Apply `(key, value)` info pairs on top of `base` hints.
+pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
+    let mut h = base;
+    // Track sieve-buffer/threshold updates so ordering doesn't matter.
+    let mut sieve_buffer: Option<usize> = None;
+    let mut threshold: Option<u64> = None;
+    let mut ds_mode: Option<&str> = None;
+    for &(key, value) in info {
+        match key {
+            "cb_nodes" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| IoError::BadHints("cb_nodes must be an integer"))?;
+                h.cb_nodes = Some(n);
+            }
+            "cb_buffer_size" => {
+                h.cb_buffer_size = value
+                    .parse()
+                    .map_err(|_| IoError::BadHints("cb_buffer_size must be an integer"))?;
+            }
+            "ind_wr_buffer_size" | "ind_rd_buffer_size" => {
+                sieve_buffer = Some(
+                    value
+                        .parse()
+                        .map_err(|_| IoError::BadHints("sieve buffer must be an integer"))?,
+                );
+            }
+            "romio_ds_write" | "romio_ds_read" => {
+                ds_mode = Some(match value {
+                    "enable" | "disable" | "automatic" => value,
+                    _ => return Err(IoError::BadHints("romio_ds_* takes enable/disable/automatic")),
+                });
+            }
+            "ds_extent_threshold" => {
+                threshold = Some(
+                    value
+                        .parse()
+                        .map_err(|_| IoError::BadHints("ds_extent_threshold must be an integer"))?,
+                );
+            }
+            "striping_unit" => {
+                let a: u64 = value
+                    .parse()
+                    .map_err(|_| IoError::BadHints("striping_unit must be an integer"))?;
+                h.fr_alignment = Some(a);
+            }
+            "flexio_pfr" => {
+                h.persistent_file_realms = match value {
+                    "enable" | "true" => true,
+                    "disable" | "false" => false,
+                    _ => return Err(IoError::BadHints("flexio_pfr takes enable/disable")),
+                };
+            }
+            "flexio_engine" => {
+                h.engine = match value {
+                    "flexible" | "new" => Engine::Flexible,
+                    "romio" | "old" => Engine::Romio,
+                    _ => return Err(IoError::BadHints("flexio_engine takes flexible/romio")),
+                };
+            }
+            "flexio_exchange" => {
+                h.exchange = match value {
+                    "nonblocking" => ExchangeMode::Nonblocking,
+                    "alltoallw" => ExchangeMode::Alltoallw,
+                    _ => return Err(IoError::BadHints("flexio_exchange takes nonblocking/alltoallw")),
+                };
+            }
+            _ => {} // unknown hints are ignored per the MPI standard
+        }
+    }
+    // Resolve the data-sieving method from the pieces collected.
+    let cur_buffer = match h.io_method {
+        IoMethod::DataSieve { buffer } => buffer,
+        IoMethod::Conditional { sieve_buffer, .. } => sieve_buffer,
+        IoMethod::Naive => 512 << 10,
+    };
+    let cur_threshold = match h.io_method {
+        IoMethod::Conditional { extent_threshold, .. } => extent_threshold,
+        _ => 16 << 10,
+    };
+    let buffer = sieve_buffer.unwrap_or(cur_buffer);
+    let extent_threshold = threshold.unwrap_or(cur_threshold);
+    h.io_method = match ds_mode {
+        Some("enable") => IoMethod::DataSieve { buffer },
+        Some("disable") => IoMethod::Naive,
+        Some("automatic") => IoMethod::Conditional { extent_threshold, sieve_buffer: buffer },
+        Some(_) => unreachable!(),
+        None => match h.io_method {
+            IoMethod::DataSieve { .. } => IoMethod::DataSieve { buffer },
+            IoMethod::Naive => IoMethod::Naive,
+            IoMethod::Conditional { .. } => {
+                IoMethod::Conditional { extent_threshold, sieve_buffer: buffer }
+            }
+        },
+    };
+    h.validate()?;
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_romio_hints() {
+        let h = hints_from_info(
+            Hints::default(),
+            &[
+                ("cb_nodes", "8"),
+                ("cb_buffer_size", "1048576"),
+                ("striping_unit", "2097152"),
+                ("romio_ds_write", "automatic"),
+                ("ind_wr_buffer_size", "262144"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(h.cb_nodes, Some(8));
+        assert_eq!(h.cb_buffer_size, 1 << 20);
+        assert_eq!(h.fr_alignment, Some(2 << 20));
+        assert_eq!(
+            h.io_method,
+            IoMethod::Conditional { extent_threshold: 16 << 10, sieve_buffer: 256 << 10 }
+        );
+    }
+
+    #[test]
+    fn pfr_and_engine_switches() {
+        let h = hints_from_info(
+            Hints::default(),
+            &[("flexio_pfr", "enable"), ("flexio_engine", "romio"), ("flexio_exchange", "alltoallw")],
+        )
+        .unwrap();
+        assert!(h.persistent_file_realms);
+        assert_eq!(h.engine, Engine::Romio);
+        assert_eq!(h.exchange, ExchangeMode::Alltoallw);
+    }
+
+    #[test]
+    fn ds_enable_disable() {
+        let h = hints_from_info(Hints::default(), &[("romio_ds_write", "enable")]).unwrap();
+        assert!(matches!(h.io_method, IoMethod::DataSieve { .. }));
+        let h = hints_from_info(Hints::default(), &[("romio_ds_write", "disable")]).unwrap();
+        assert_eq!(h.io_method, IoMethod::Naive);
+    }
+
+    #[test]
+    fn order_independent_sieve_settings() {
+        let a = hints_from_info(
+            Hints::default(),
+            &[("ind_wr_buffer_size", "1024"), ("romio_ds_write", "enable")],
+        )
+        .unwrap();
+        let b = hints_from_info(
+            Hints::default(),
+            &[("romio_ds_write", "enable"), ("ind_wr_buffer_size", "1024")],
+        )
+        .unwrap();
+        assert_eq!(a.io_method, b.io_method);
+        assert_eq!(a.io_method, IoMethod::DataSieve { buffer: 1024 });
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let h = hints_from_info(Hints::default(), &[("some_vendor_hint", "whatever")]).unwrap();
+        assert_eq!(h.cb_buffer_size, Hints::default().cb_buffer_size);
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(hints_from_info(Hints::default(), &[("cb_nodes", "many")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("romio_ds_write", "sometimes")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("cb_buffer_size", "0")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("striping_unit", "0")]).is_err());
+    }
+}

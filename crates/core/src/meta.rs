@@ -1,0 +1,103 @@
+//! Client access metadata: what each rank tells the aggregators.
+//!
+//! The flexible engine exchanges *flattened filetypes* (`D` pairs, §5.3)
+//! plus the scalar access parameters, so any rank can reconstruct any other
+//! rank's file view and re-derive its offset/length stream locally.
+
+use flexio_types::{FileView, FlatType};
+use std::sync::Arc;
+
+/// One rank's collective access, as shipped over the wire.
+#[derive(Debug, Clone)]
+pub struct ClientAccess {
+    /// The client's file view (displacement + flattened filetype).
+    pub view: FileView,
+    /// Starting position in the view's data space, bytes.
+    pub data_start: u64,
+    /// Access length in bytes (0 = does not participate).
+    pub data_len: u64,
+}
+
+impl ClientAccess {
+    /// First and one-past-last file offsets touched, or `None` for an
+    /// empty access.
+    pub fn file_range(&self) -> Option<(u64, u64)> {
+        if self.data_len == 0 {
+            return None;
+        }
+        Some(self.view.access_range(self.data_start, self.data_len))
+    }
+
+    /// Exclusive end of the access in data space.
+    pub fn data_end(&self) -> u64 {
+        self.data_start + self.data_len
+    }
+
+    /// Serialize for the metadata exchange.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let ft = self.view.ftype().to_wire();
+        let mut out = Vec::with_capacity(32 + ft.len());
+        out.extend_from_slice(&self.view.disp().to_le_bytes());
+        out.extend_from_slice(&self.view.etype_size().to_le_bytes());
+        out.extend_from_slice(&self.data_start.to_le_bytes());
+        out.extend_from_slice(&self.data_len.to_le_bytes());
+        out.extend_from_slice(&ft);
+        out
+    }
+
+    /// Deserialize from [`ClientAccess::to_wire`] output.
+    pub fn from_wire(buf: &[u8]) -> Self {
+        let rd = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
+        let disp = rd(0);
+        let etype = rd(8);
+        let data_start = rd(16);
+        let data_len = rd(24);
+        let ftype = Arc::new(FlatType::from_wire(&buf[32..]));
+        ClientAccess {
+            view: FileView::new(disp, ftype, etype).expect("wire filetype invalid"),
+            data_start,
+            data_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexio_types::{flatten, Datatype};
+
+    fn sample() -> ClientAccess {
+        let dt = Datatype::resized(0, 192, Datatype::bytes(64));
+        ClientAccess {
+            view: FileView::new(1000, Arc::new(flatten(&dt)), 1).unwrap(),
+            data_start: 64,
+            data_len: 640,
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let a = sample();
+        let b = ClientAccess::from_wire(&a.to_wire());
+        assert_eq!(b.view.disp(), 1000);
+        assert_eq!(b.view.etype_size(), 1);
+        assert_eq!(b.data_start, 64);
+        assert_eq!(b.data_len, 640);
+        assert_eq!(b.view.ftype(), a.view.ftype());
+    }
+
+    #[test]
+    fn file_range_spans_access() {
+        let a = sample();
+        // data 64 begins in tile 1 (tile size 64): file = 1000 + 192 = 1192.
+        // data end 703: tile 10, within 63: file 1000 + 10*192 + 63 = 2983.
+        assert_eq!(a.file_range(), Some((1192, 2984)));
+    }
+
+    #[test]
+    fn empty_access_no_range() {
+        let mut a = sample();
+        a.data_len = 0;
+        assert_eq!(a.file_range(), None);
+    }
+}

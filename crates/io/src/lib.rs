@@ -1,0 +1,503 @@
+//! # flexio-io — independent I/O methods over the parallel file system
+//!
+//! These are the "optimizations beneath collective I/O" of the paper's
+//! §5.1/§6.3: ways of moving a *packed* byte stream to/from a sorted list
+//! of non-contiguous file segments.
+//!
+//! * [`IoMethod::Naive`] — list I/O: one file-system call per contiguous
+//!   segment. Pays per-request overhead per segment (and page RMW for
+//!   unaligned segments), but touches only useful bytes.
+//! * [`IoMethod::DataSieve`] — read the covering extent into a sieve
+//!   buffer, patch (write case) or extract (read case), and write the whole
+//!   chunk back. Few large sequential requests, but moves gap bytes too.
+//! * [`IoMethod::Conditional`] — the paper's conditional data sieving:
+//!   choose between the two by the datatype extent (crossover ≈ 16 KiB in
+//!   §6.3), with a contiguous fast path when segments form one run.
+//!
+//! Because the flexible collective engine funnels every buffer cycle
+//! through this one interface, the method can differ per cycle — the "more
+//! code paths with less code" point of §5.1.
+
+#![warn(missing_docs)]
+
+use flexio_pfs::FileHandle;
+
+/// How to move packed data between memory and non-contiguous file space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMethod {
+    /// One file-system call per contiguous segment (list I/O).
+    Naive,
+    /// Data sieving with the given sieve-buffer size in bytes.
+    DataSieve {
+        /// Sieve buffer size in bytes (ROMIO default: 512 KiB).
+        buffer: usize,
+    },
+    /// Pick [`IoMethod::Naive`] when the access pattern's datatype extent
+    /// is at least `extent_threshold`, otherwise sieve (§6.3).
+    Conditional {
+        /// Datatype-extent crossover in bytes (paper: ≈ 16 KiB).
+        extent_threshold: u64,
+        /// Sieve buffer size used when sieving is chosen.
+        sieve_buffer: usize,
+    },
+}
+
+impl Default for IoMethod {
+    fn default() -> Self {
+        IoMethod::Conditional { extent_threshold: 16 << 10, sieve_buffer: 512 << 10 }
+    }
+}
+
+/// The concrete method picked after conditional resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolved {
+    /// Single contiguous run: one plain call.
+    Contiguous,
+    /// Per-segment calls.
+    Naive,
+    /// Sieve with this buffer size.
+    DataSieve(usize),
+}
+
+/// Resolve a method against an access: `segs` are sorted non-overlapping
+/// `(offset, len)` pairs; `pattern_extent` is the datatype extent of the
+/// pattern that produced them (the conditional's selection metric).
+pub fn resolve(method: &IoMethod, segs: &[(u64, u64)], pattern_extent: u64) -> Resolved {
+    let contiguous = match segs {
+        [] | [_] => true,
+        _ => segs.windows(2).all(|w| w[0].0 + w[0].1 == w[1].0),
+    };
+    if contiguous {
+        return Resolved::Contiguous;
+    }
+    match *method {
+        IoMethod::Naive => Resolved::Naive,
+        IoMethod::DataSieve { buffer } => Resolved::DataSieve(buffer),
+        IoMethod::Conditional { extent_threshold, sieve_buffer } => {
+            if pattern_extent >= extent_threshold {
+                Resolved::Naive
+            } else {
+                Resolved::DataSieve(sieve_buffer)
+            }
+        }
+    }
+}
+
+fn total_len(segs: &[(u64, u64)]) -> u64 {
+    segs.iter().map(|(_, l)| l).sum()
+}
+
+fn check_segs(segs: &[(u64, u64)], packed_len: usize) {
+    debug_assert_eq!(total_len(segs), packed_len as u64, "packed buffer length mismatch");
+    debug_assert!(
+        segs.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0),
+        "segments must be sorted and non-overlapping"
+    );
+    debug_assert!(segs.iter().all(|(_, l)| *l > 0), "zero-length segment");
+}
+
+/// Write `packed` (segments concatenated in order) to the file segments
+/// using `method`. Returns the virtual completion time.
+pub fn write_packed(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    packed: &[u8],
+    method: &IoMethod,
+    pattern_extent: u64,
+) -> u64 {
+    if segs.is_empty() {
+        return now;
+    }
+    check_segs(segs, packed.len());
+    match resolve(method, segs, pattern_extent) {
+        Resolved::Contiguous => h.write(now, segs[0].0, packed),
+        Resolved::Naive => {
+            let mut t = now;
+            let mut pos = 0usize;
+            for &(off, len) in segs {
+                t = h.write(t, off, &packed[pos..pos + len as usize]);
+                pos += len as usize;
+            }
+            t
+        }
+        Resolved::DataSieve(buffer) => sieve_write(h, now, segs, packed, buffer),
+    }
+}
+
+/// Read the file segments into `packed` using `method`. Returns the
+/// virtual completion time.
+pub fn read_packed(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    packed: &mut [u8],
+    method: &IoMethod,
+    pattern_extent: u64,
+) -> u64 {
+    if segs.is_empty() {
+        return now;
+    }
+    check_segs(segs, packed.len());
+    match resolve(method, segs, pattern_extent) {
+        Resolved::Contiguous => h.read(now, segs[0].0, packed),
+        Resolved::Naive => {
+            let mut t = now;
+            let mut pos = 0usize;
+            for &(off, len) in segs {
+                t = h.read(t, off, &mut packed[pos..pos + len as usize]);
+                pos += len as usize;
+            }
+            t
+        }
+        Resolved::DataSieve(buffer) => sieve_read(h, now, segs, packed, buffer),
+    }
+}
+
+/// Data-sieving write: for each sieve-buffer-sized chunk of the covering
+/// extent, pre-read it (unless the chunk is fully covered by data), patch
+/// in the packed bytes, and write the whole chunk back.
+fn sieve_write(h: &FileHandle, now: u64, segs: &[(u64, u64)], packed: &[u8], buffer: usize) -> u64 {
+    let buffer = buffer.max(1) as u64;
+    let start = segs[0].0;
+    let end = segs.last().unwrap().0 + segs.last().unwrap().1;
+    let mut t = now;
+    let mut chunk_start = start;
+    // Cursor into segs/packed shared across chunks.
+    let mut si = 0usize;
+    let mut packed_pos = 0usize;
+    while chunk_start < end {
+        let chunk_end = (chunk_start + buffer).min(end);
+        // Collect the segment runs overlapping this chunk, clipped.
+        let covered = chunk_fully_covered(segs, si, chunk_start, chunk_end);
+        let mut chunk_segs: Vec<(u64, u64)> = Vec::new();
+        let mut chunk_packed: Vec<u8> = Vec::new();
+        while si < segs.len() && segs[si].0 < chunk_end {
+            let (off, len) = segs[si];
+            let seg_end = off + len;
+            let lo = off.max(chunk_start);
+            let hi = seg_end.min(chunk_end);
+            let in_packed = packed_pos + (lo - off) as usize;
+            chunk_segs.push((lo, hi - lo));
+            chunk_packed.extend_from_slice(&packed[in_packed..in_packed + (hi - lo) as usize]);
+            if seg_end <= chunk_end {
+                packed_pos += len as usize;
+                si += 1;
+            } else {
+                break; // segment continues into the next chunk
+            }
+        }
+        // Atomic read-modify-write: the file system holds its RMW lock
+        // across the pre-read and the write-back so concurrent writers
+        // to gap bytes are never clobbered (ROMIO's fcntl sieve lock).
+        t = h.sieve_chunk_write(
+            t,
+            chunk_start,
+            chunk_end - chunk_start,
+            &chunk_segs,
+            &chunk_packed,
+            covered,
+        );
+        // Skip straight to the next segment: empty sieve windows are not
+        // read or written (as in ADIOI), so distant segment groups do not
+        // drag the whole gap through the sieve buffer.
+        chunk_start = match segs.get(si) {
+            Some(&(off, _)) => off.max(chunk_end),
+            None => end,
+        };
+    }
+    t
+}
+
+/// Data-sieving read: read each chunk of the covering extent and extract
+/// the segment bytes.
+fn sieve_read(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    packed: &mut [u8],
+    buffer: usize,
+) -> u64 {
+    let buffer = buffer.max(1) as u64;
+    let start = segs[0].0;
+    let end = segs.last().unwrap().0 + segs.last().unwrap().1;
+    let mut t = now;
+    let mut chunk_start = start;
+    let mut si = 0usize;
+    let mut packed_pos = 0usize;
+    while chunk_start < end {
+        let chunk_end = (chunk_start + buffer).min(end);
+        let clen = (chunk_end - chunk_start) as usize;
+        let mut buf = vec![0u8; clen];
+        t = h.read(t, chunk_start, &mut buf);
+        while si < segs.len() && segs[si].0 < chunk_end {
+            let (off, len) = segs[si];
+            let seg_end = off + len;
+            let lo = off.max(chunk_start);
+            let hi = seg_end.min(chunk_end);
+            let in_packed = packed_pos + (lo - off) as usize;
+            packed[in_packed..in_packed + (hi - lo) as usize]
+                .copy_from_slice(&buf[(lo - chunk_start) as usize..(hi - chunk_start) as usize]);
+            if seg_end <= chunk_end {
+                packed_pos += len as usize;
+                si += 1;
+            } else {
+                break;
+            }
+        }
+        chunk_start = match segs.get(si) {
+            Some(&(off, _)) => off.max(chunk_end),
+            None => end,
+        };
+    }
+    t
+}
+
+fn chunk_fully_covered(segs: &[(u64, u64)], si: usize, chunk_start: u64, chunk_end: u64) -> bool {
+    let mut pos = chunk_start;
+    for &(off, len) in &segs[si..] {
+        if off > pos {
+            return false;
+        }
+        pos = pos.max(off + len);
+        if pos >= chunk_end {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexio_pfs::{Pfs, PfsConfig, PfsCostModel};
+    use std::sync::Arc;
+
+    fn pfs() -> Arc<Pfs> {
+        Pfs::new(PfsConfig::test_tiny())
+    }
+
+    fn timed_pfs() -> Arc<Pfs> {
+        Pfs::new(PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() })
+    }
+
+    fn strided_segs(start: u64, n: u64, len: u64, stride: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (start + i * stride, len)).collect()
+    }
+
+    fn packed_for(segs: &[(u64, u64)]) -> Vec<u8> {
+        (0..total_len(segs)).map(|i| (i % 241 + 1) as u8).collect()
+    }
+
+    fn readback(pfs: &Arc<Pfs>, segs: &[(u64, u64)]) -> Vec<u8> {
+        let h = pfs.open("f", 99);
+        let mut out = Vec::new();
+        for &(off, len) in segs {
+            let mut buf = vec![0u8; len as usize];
+            h.read(0, off, &mut buf);
+            out.extend(buf);
+        }
+        out
+    }
+
+    #[test]
+    fn resolve_contiguous_fast_path() {
+        let segs = [(0u64, 10u64), (10, 20), (30, 5)];
+        assert_eq!(resolve(&IoMethod::Naive, &segs, 1 << 20), Resolved::Contiguous);
+        assert_eq!(resolve(&IoMethod::Naive, &[], 0), Resolved::Contiguous);
+    }
+
+    #[test]
+    fn resolve_conditional_threshold() {
+        let segs = [(0u64, 4u64), (100, 4)];
+        let m = IoMethod::Conditional { extent_threshold: 1000, sieve_buffer: 64 };
+        assert_eq!(resolve(&m, &segs, 999), Resolved::DataSieve(64));
+        assert_eq!(resolve(&m, &segs, 1000), Resolved::Naive);
+    }
+
+    #[test]
+    fn naive_write_roundtrip() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        let segs = strided_segs(5, 10, 7, 23);
+        let data = packed_for(&segs);
+        write_packed(&h, 0, &segs, &data, &IoMethod::Naive, 0);
+        assert_eq!(readback(&pfs, &segs), data);
+    }
+
+    #[test]
+    fn sieve_write_roundtrip() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        let segs = strided_segs(5, 10, 7, 23);
+        let data = packed_for(&segs);
+        write_packed(&h, 0, &segs, &data, &IoMethod::DataSieve { buffer: 64 }, 0);
+        assert_eq!(readback(&pfs, &segs), data);
+    }
+
+    #[test]
+    fn sieve_write_preserves_gap_data() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        // Pre-fill the file with 9s.
+        h.write(0, 0, &vec![9u8; 300]);
+        let segs = strided_segs(10, 5, 4, 20);
+        let data = packed_for(&segs);
+        write_packed(&h, 0, &segs, &data, &IoMethod::DataSieve { buffer: 32 }, 0);
+        assert_eq!(readback(&pfs, &segs), data);
+        // Gap bytes untouched.
+        let mut gap = [0u8; 4];
+        h.read(0, 14, &mut gap);
+        assert_eq!(gap, [9u8; 4]);
+    }
+
+    #[test]
+    fn sieve_segment_spanning_chunks() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        // One 100-byte segment with a 10-byte sieve buffer.
+        let segs = vec![(3u64, 100u64), (200, 8)];
+        let data = packed_for(&segs);
+        write_packed(&h, 0, &segs, &data, &IoMethod::DataSieve { buffer: 10 }, 0);
+        assert_eq!(readback(&pfs, &segs), data);
+    }
+
+    #[test]
+    fn reads_match_writes_all_methods() {
+        for method in [
+            IoMethod::Naive,
+            IoMethod::DataSieve { buffer: 48 },
+            IoMethod::Conditional { extent_threshold: 10, sieve_buffer: 48 },
+            IoMethod::Conditional { extent_threshold: 1 << 30, sieve_buffer: 48 },
+        ] {
+            let pfs = pfs();
+            let h = pfs.open("f", 0);
+            let segs = strided_segs(11, 9, 6, 31);
+            let data = packed_for(&segs);
+            write_packed(&h, 0, &segs, &data, &IoMethod::Naive, 0);
+            let mut out = vec![0u8; data.len()];
+            read_packed(&h, 0, &segs, &mut out, &method, 100);
+            assert_eq!(out, data, "method {method:?}");
+        }
+    }
+
+    #[test]
+    fn naive_issues_more_requests_than_sieve() {
+        let pfs_a = timed_pfs();
+        let h = pfs_a.open("f", 0);
+        let segs = strided_segs(0, 16, 4, 16);
+        let data = packed_for(&segs);
+        write_packed(&h, 0, &segs, &data, &IoMethod::Naive, 0);
+        let naive_reqs = pfs_a.stats().ost_requests;
+
+        let pfs_b = timed_pfs();
+        let h = pfs_b.open("f", 0);
+        write_packed(&h, 0, &segs, &data, &IoMethod::DataSieve { buffer: 1 << 20 }, 0);
+        let sieve_reqs = pfs_b.stats().ost_requests;
+        assert!(
+            naive_reqs > sieve_reqs,
+            "naive {naive_reqs} should exceed sieve {sieve_reqs}"
+        );
+    }
+
+    #[test]
+    fn sieve_moves_more_bytes_than_naive() {
+        let segs = strided_segs(0, 16, 4, 64); // 6% useful
+        let data = packed_for(&segs);
+
+        let pfs_a = timed_pfs();
+        let h = pfs_a.open("f", 0);
+        write_packed(&h, 0, &segs, &data, &IoMethod::Naive, 0);
+        let naive_bytes = pfs_a.stats().bytes_written;
+
+        let pfs_b = timed_pfs();
+        let h = pfs_b.open("f", 0);
+        write_packed(&h, 0, &segs, &data, &IoMethod::DataSieve { buffer: 1 << 20 }, 0);
+        let sieve_bytes = pfs_b.stats().bytes_written;
+        assert!(sieve_bytes > naive_bytes * 5, "sieve {sieve_bytes} vs naive {naive_bytes}");
+    }
+
+    #[test]
+    fn fully_covered_chunk_skips_preread() {
+        let pfs = timed_pfs();
+        let h = pfs.open("f", 0);
+        let segs = vec![(0u64, 64u64)];
+        let data = packed_for(&segs);
+        // Single contiguous run resolves to Contiguous in write_packed; use
+        // sieve_write directly to check the coverage logic.
+        let t = super::sieve_write(&h, 0, &segs, &data, 64);
+        assert!(t > 0);
+        assert_eq!(pfs.stats().bytes_read, 0, "covered chunk must skip pre-read");
+    }
+
+    #[test]
+    fn write_empty_segments_noop() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        let t = write_packed(&h, 5, &[], &[], &IoMethod::Naive, 0);
+        assert_eq!(t, 5);
+        assert_eq!(h.size(), 0);
+    }
+
+    #[test]
+    fn sieve_skips_large_gaps() {
+        // Two segment groups separated by a gap far larger than the sieve
+        // buffer: the gap must not be read or written.
+        let pfs = timed_pfs();
+        let h = pfs.open("f", 0);
+        h.write(0, 0, &vec![9u8; 4000]); // pre-fill so gaps hold data
+        let before = pfs.stats().bytes_read;
+        let segs = vec![(0u64, 4u64), (8, 4), (3000, 4), (3008, 4)];
+        let data = packed_for(&segs);
+        write_packed(&h, 0, &segs, &data, &IoMethod::DataSieve { buffer: 64 }, 0);
+        let read = pfs.stats().bytes_read - before;
+        assert!(read < 100, "sieve read {read} bytes; it must skip the 3 KB gap");
+        assert_eq!(readback(&pfs, &segs), data);
+        // Gap data intact.
+        let mut gap = [0u8; 4];
+        h.read(0, 100, &mut gap);
+        assert_eq!(gap, [9u8; 4]);
+    }
+
+    #[test]
+    fn concurrent_sieve_writers_never_clobber() {
+        // Two threads sieve-write interleaved segments of the same region
+        // concurrently, many rounds. Without atomic RMW, one thread's
+        // write-back of stale gap bytes erases the other's data.
+        for round in 0..50 {
+            let pfs = pfs();
+            let h0 = pfs.open("f", 0);
+            let h1 = pfs.open("f", 1);
+            // Interleaved 8-byte segments over 512 bytes: rank 0 even
+            // slots, rank 1 odd slots.
+            let segs0: Vec<(u64, u64)> = (0..32).map(|i| (i * 16, 8u64)).collect();
+            let segs1: Vec<(u64, u64)> = (0..32).map(|i| (i * 16 + 8, 8u64)).collect();
+            let d0 = vec![1u8; 32 * 8];
+            let d1 = vec![2u8; 32 * 8];
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    write_packed(&h0, 0, &segs0, &d0, &IoMethod::DataSieve { buffer: 96 }, 0)
+                });
+                s.spawn(|| {
+                    write_packed(&h1, 0, &segs1, &d1, &IoMethod::DataSieve { buffer: 96 }, 0)
+                });
+            });
+            let mut img = vec![0u8; 512];
+            pfs.open("f", 9).read(0, 0, &mut img);
+            for (i, &b) in img.iter().enumerate() {
+                let want = if (i / 8) % 2 == 0 { 1 } else { 2 };
+                assert_eq!(b, want, "round {round}: byte {i} clobbered");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_fully_covered_logic() {
+        let segs = [(0u64, 10u64), (10, 10), (30, 10)];
+        assert!(chunk_fully_covered(&segs, 0, 0, 20));
+        assert!(!chunk_fully_covered(&segs, 0, 0, 21));
+        assert!(!chunk_fully_covered(&segs, 0, 25, 35));
+        assert!(chunk_fully_covered(&segs, 2, 30, 40));
+        assert!(chunk_fully_covered(&segs, 0, 5, 15));
+    }
+}

@@ -1,0 +1,185 @@
+//! Sorted, disjoint extent sets: the interval arithmetic beneath the lock
+//! manager and the client cache.
+
+/// A set of disjoint, sorted, half-open byte ranges `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtentSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl ExtentSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        ExtentSet::default()
+    }
+
+    /// The ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// True if no bytes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Insert `[start, end)`, merging with touching/overlapping ranges.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Find all ranges overlapping or touching [start, end].
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            new_start = new_start.min(self.ranges[hi].0);
+            new_end = new_end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Remove `[start, end)`; splits partially covered ranges.
+    pub fn remove(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        for &(s, e) in &self.ranges {
+            if e <= start || s >= end {
+                out.push((s, e));
+                continue;
+            }
+            if s < start {
+                out.push((s, start));
+            }
+            if e > end {
+                out.push((end, e));
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// True if every byte of `[start, end)` is covered.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        match self.ranges.get(i) {
+            Some(&(s, e)) => s <= start && end <= e,
+            None => false,
+        }
+    }
+
+    /// The portions of `[start, end)` that overlap this set.
+    pub fn intersect(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        for &(s, e) in &self.ranges[i..] {
+            if s >= end {
+                break;
+            }
+            out.push((s.max(start), e.min(end)));
+        }
+        out
+    }
+
+    /// True if any byte of `[start, end)` is covered.
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        self.ranges.get(i).map(|&(s, _)| s < end).unwrap_or(false)
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(rs: &[(u64, u64)]) -> ExtentSet {
+        let mut s = ExtentSet::new();
+        for &(a, b) in rs {
+            s.insert(a, b);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_disjoint_sorted() {
+        let s = set(&[(10, 20), (0, 5), (30, 40)]);
+        assert_eq!(s.ranges(), &[(0, 5), (10, 20), (30, 40)]);
+        assert_eq!(s.covered(), 25);
+    }
+
+    #[test]
+    fn insert_merges_overlap_and_touch() {
+        let s = set(&[(0, 10), (10, 20)]);
+        assert_eq!(s.ranges(), &[(0, 20)]);
+        let s = set(&[(0, 10), (5, 25), (40, 50), (24, 41)]);
+        assert_eq!(s.ranges(), &[(0, 50)]);
+    }
+
+    #[test]
+    fn insert_empty_noop() {
+        let mut s = set(&[(0, 10)]);
+        s.insert(5, 5);
+        assert_eq!(s.ranges(), &[(0, 10)]);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = set(&[(0, 100)]);
+        s.remove(20, 30);
+        assert_eq!(s.ranges(), &[(0, 20), (30, 100)]);
+        s.remove(0, 20);
+        assert_eq!(s.ranges(), &[(30, 100)]);
+        s.remove(90, 200);
+        assert_eq!(s.ranges(), &[(30, 90)]);
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let s = set(&[(10, 20), (30, 40)]);
+        assert!(s.covers(10, 20));
+        assert!(s.covers(12, 18));
+        assert!(!s.covers(15, 25));
+        assert!(!s.covers(20, 30)); // gap
+        assert!(s.overlaps(15, 35));
+        assert!(!s.overlaps(20, 30));
+        assert!(!s.overlaps(0, 10));
+        assert!(s.overlaps(0, 11));
+    }
+
+    #[test]
+    fn intersect_clips() {
+        let s = set(&[(10, 20), (30, 40), (50, 60)]);
+        assert_eq!(s.intersect(15, 55), vec![(15, 20), (30, 40), (50, 55)]);
+        assert_eq!(s.intersect(20, 30), vec![]);
+        assert_eq!(s.intersect(0, 100), vec![(10, 20), (30, 40), (50, 60)]);
+    }
+
+    #[test]
+    fn covers_empty_range_trivially() {
+        let s = ExtentSet::new();
+        assert!(s.covers(5, 5));
+        assert!(!s.covers(5, 6));
+    }
+}

@@ -1,0 +1,267 @@
+//! Extent-lock manager: a miniature Lustre DLM.
+//!
+//! Locks are held per client as sets of disjoint byte extents (the caller
+//! rounds requests outward — the file system expands lock requests to
+//! stripe boundaries, which is how unaligned file realms come to ping-pong
+//! boundary stripes between aggregators, §6.4).
+//!
+//! Acquiring a range that another client holds *revokes* the overlap: the
+//! victim's overlapping extent is shrunk and the caller learns which ranges
+//! were taken so it can flush/invalidate the victim's cached pages. A
+//! request fully covered by locks the client already holds is free — the
+//! persistent-file-realm win.
+
+use crate::extent::ExtentSet;
+use std::collections::HashMap;
+
+/// Lock state for one file.
+#[derive(Debug)]
+pub struct LockTable {
+    held: HashMap<usize, ExtentSet>,
+    grants: u64,
+    revocations: u64,
+    /// Lustre-style lock expansion: grow each grant into the free space
+    /// around it (up to the nearest other holder, or 0 / ∞). This is what
+    /// makes an uncontended writer own `[0, ∞)` after one request — and
+    /// what makes *shifting* realm assignments revoke locks every
+    /// collective call (§6.4).
+    expand: bool,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        LockTable::new(true)
+    }
+}
+
+/// Result of a lock acquisition.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Acquire {
+    /// The request was already fully covered by this client's locks.
+    pub already_held: bool,
+    /// `(victim_client, start, end)` ranges revoked from other clients,
+    /// whose cached pages must be flushed and invalidated.
+    pub revoked: Vec<(usize, u64, u64)>,
+}
+
+impl LockTable {
+    /// New table; `expand` enables Lustre-style grant expansion.
+    pub fn new(expand: bool) -> Self {
+        LockTable { held: HashMap::new(), grants: 0, revocations: 0, expand }
+    }
+
+    /// Acquire `[start, end)` for `client`, revoking conflicting holders.
+    /// With expansion on, the granted extent grows into the free space
+    /// around the request.
+    pub fn acquire(&mut self, client: usize, start: u64, end: u64) -> Acquire {
+        debug_assert!(start < end);
+        if self.held.get(&client).map(|s| s.covers(start, end)).unwrap_or(false) {
+            return Acquire { already_held: true, revoked: Vec::new() };
+        }
+        let mut revoked = Vec::new();
+        for (&other, set) in self.held.iter_mut() {
+            if other == client {
+                continue;
+            }
+            if self.expand {
+                // Lustre-style whole-lock cancellation: a conflicting lock
+                // is cancelled in its entirety, not trimmed.
+                let overlapping: Vec<(u64, u64)> = set
+                    .ranges()
+                    .iter()
+                    .copied()
+                    .filter(|&(s, e)| s < end && e > start)
+                    .collect();
+                for (s, e) in overlapping {
+                    set.remove(s, e);
+                    revoked.push((other, s, e));
+                }
+            } else {
+                // Precise mode: shrink only the overlap.
+                for (s, e) in set.intersect(start, end) {
+                    set.remove(s, e);
+                    revoked.push((other, s, e));
+                }
+            }
+        }
+        revoked.sort_unstable();
+        self.revocations += revoked.len() as u64;
+        self.grants += 1;
+        let (mut lo, mut hi) = (start, end);
+        if self.expand && revoked.is_empty() {
+            // Uncontended: expand into the free gap around the request, up
+            // to the nearest extent of any other client (Lustre grants a
+            // sole writer `[0, ∞)` after one request). Contended grants
+            // stay exact — re-expanding over a peer we just cancelled
+            // would ping-pong forever.
+            lo = 0;
+            hi = u64::MAX;
+            for (&other, set) in self.held.iter() {
+                if other == client {
+                    continue;
+                }
+                for &(s, e) in set.ranges() {
+                    if e <= start {
+                        lo = lo.max(e);
+                    }
+                    if s >= end {
+                        hi = hi.min(s);
+                    }
+                }
+            }
+        }
+        self.held.entry(client).or_default().insert(lo, hi);
+        Acquire { already_held: false, revoked }
+    }
+
+    /// Does `client` currently hold all of `[start, end)`?
+    pub fn holds(&self, client: usize, start: u64, end: u64) -> bool {
+        self.held.get(&client).map(|s| s.covers(start, end)).unwrap_or(start >= end)
+    }
+
+    /// Drop all locks held by `client` (file close).
+    pub fn release_all(&mut self, client: usize) {
+        self.held.remove(&client);
+    }
+
+    /// Total grants processed (new lock acquisitions, not cache hits).
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total revocations performed.
+    pub fn revocations(&self) -> u64 {
+        self.revocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_acquire_grants() {
+        let mut t = LockTable::new(false);
+        let a = t.acquire(0, 0, 100);
+        assert!(!a.already_held);
+        assert!(a.revoked.is_empty());
+        assert!(t.holds(0, 0, 100));
+        assert_eq!(t.grants(), 1);
+    }
+
+    #[test]
+    fn covered_reacquire_is_free() {
+        let mut t = LockTable::new(false);
+        t.acquire(0, 0, 100);
+        let a = t.acquire(0, 10, 50);
+        assert!(a.already_held);
+        assert_eq!(t.grants(), 1, "no second grant charged");
+    }
+
+    #[test]
+    fn conflict_revokes_overlap_only() {
+        let mut t = LockTable::new(false);
+        t.acquire(0, 0, 100);
+        let a = t.acquire(1, 50, 150);
+        assert!(!a.already_held);
+        assert_eq!(a.revoked, vec![(0, 50, 100)]);
+        assert!(t.holds(1, 50, 150));
+        assert!(t.holds(0, 0, 50));
+        assert!(!t.holds(0, 0, 51));
+        assert_eq!(t.revocations(), 1);
+    }
+
+    #[test]
+    fn revokes_multiple_victims() {
+        let mut t = LockTable::new(false);
+        t.acquire(0, 0, 10);
+        t.acquire(1, 10, 20);
+        t.acquire(2, 20, 30);
+        let a = t.acquire(3, 5, 25);
+        assert_eq!(a.revoked, vec![(0, 5, 10), (1, 10, 20), (2, 20, 25)]);
+    }
+
+    #[test]
+    fn ping_pong_counts_revocations() {
+        let mut t = LockTable::new(false);
+        for _ in 0..5 {
+            t.acquire(0, 0, 10);
+            t.acquire(1, 0, 10);
+        }
+        assert_eq!(t.revocations(), 9); // all but the very first acquire
+    }
+
+    #[test]
+    fn release_all_clears() {
+        let mut t = LockTable::new(false);
+        t.acquire(0, 0, 100);
+        t.release_all(0);
+        assert!(!t.holds(0, 0, 1));
+        let a = t.acquire(1, 0, 100);
+        assert!(a.revoked.is_empty());
+    }
+
+    #[test]
+    fn disjoint_clients_no_conflict() {
+        let mut t = LockTable::new(false);
+        t.acquire(0, 0, 50);
+        let a = t.acquire(1, 50, 100);
+        assert!(a.revoked.is_empty());
+        assert_eq!(t.revocations(), 0);
+    }
+
+    #[test]
+    fn expansion_grows_to_infinity_when_uncontended() {
+        let mut t = LockTable::default();
+        t.acquire(0, 100, 200);
+        assert!(t.holds(0, 0, 1 << 60), "uncontended grant must expand");
+        // A covered reacquire anywhere is free.
+        let a = t.acquire(0, 1 << 40, (1 << 40) + 1);
+        assert!(a.already_held);
+        assert_eq!(t.grants(), 1);
+    }
+
+    #[test]
+    fn contended_grant_cancels_whole_lock_and_stays_exact() {
+        let mut t = LockTable::default();
+        t.acquire(0, 0, 100); // expands to [0, MAX)
+        let a = t.acquire(1, 200, 300); // cancels 0's whole lock
+        assert_eq!(a.revoked, vec![(0, 0, u64::MAX)]);
+        // Client 0 lost everything; client 1 got exactly the request.
+        assert!(!t.holds(0, 0, 1));
+        assert!(t.holds(1, 200, 300));
+        assert!(!t.holds(1, 199, 300));
+        assert!(!t.holds(1, 200, 301));
+    }
+
+    #[test]
+    fn expansion_steady_state_no_traffic() {
+        // Two clients repeatedly touching their own halves: after warm-up
+        // the lock layout stabilizes and no further grants or revocations
+        // happen — the PFR + aligned-realm regime.
+        let mut t = LockTable::default();
+        t.acquire(0, 0, 100); // [0, MAX)
+        t.acquire(1, 1000, 1100); // cancels 0, exact grant
+        t.acquire(0, 0, 100); // regrant, expands to [0, 1000)
+        let (g, r) = (t.grants(), t.revocations());
+        for k in 0..10u64 {
+            let a = t.acquire(0, k * 10, k * 10 + 10);
+            assert!(a.already_held, "step {k} client 0");
+            let a = t.acquire(1, 1000 + k * 10, 1010 + k * 10);
+            assert!(a.already_held, "step {k} client 1");
+        }
+        assert_eq!((t.grants(), t.revocations()), (g, r));
+    }
+
+    #[test]
+    fn uncontended_regrant_expands_into_gap() {
+        let mut t = LockTable::default();
+        t.acquire(0, 0, 100);
+        t.acquire(1, 1000, 1100); // cancels 0
+        let a = t.acquire(0, 50, 60); // uncontended now
+        assert!(!a.already_held);
+        assert!(a.revoked.is_empty());
+        assert!(t.holds(0, 0, 1000), "should expand up to the neighbour");
+        assert!(!t.holds(0, 0, 1001));
+    }
+}

@@ -1,0 +1,734 @@
+//! Per-rank handle: point-to-point messaging, collectives, virtual clock.
+//!
+//! Each rank runs on its own OS thread and owns a virtual clock (ns).
+//! Message timing follows an alpha/beta model; computation is charged
+//! explicitly by the layers above (offset/length-pair processing, buffer
+//! copies, file-system service times). A receive completes at
+//! `max(local_now, message_available_at) + recv_overhead`, which is what
+//! makes communication/computation overlap (§5.4 of the paper) fall out
+//! naturally: work done while a message is in flight hides its latency.
+
+use crate::cost::CostModel;
+use crate::world::{Msg, World};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Tag space reserved for internal collective traffic.
+const INTERNAL_BASE: u64 = 1 << 40;
+
+/// Execution phases, for MPE-style attribution (§6.2 uses MPE logging to
+/// find where time goes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Datatype processing / address computation.
+    Compute,
+    /// Network communication.
+    Comm,
+    /// File-system I/O.
+    Io,
+}
+
+/// Per-rank counters, all in the rank's own thread.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Messages sent (point-to-point, including collective internals).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Offset/length pairs charged via [`Rank::charge_pairs`].
+    pub pairs_processed: u64,
+    /// Bytes charged via [`Rank::charge_memcpy`].
+    pub memcpy_bytes: u64,
+    /// Virtual ns attributed to compute / comm / io phases.
+    pub phase_ns: [u64; 3],
+}
+
+/// A handle to one simulated MPI rank.
+pub struct Rank {
+    world: Arc<World>,
+    rank: usize,
+    clock: Cell<u64>,
+    seq: Cell<u64>,
+    stats: std::cell::RefCell<Stats>,
+}
+
+/// Handle for a posted non-blocking receive.
+#[must_use = "irecv does nothing until waited on"]
+pub struct RecvReq {
+    src: usize,
+    tag: u64,
+}
+
+impl Rank {
+    pub(crate) fn new(world: Arc<World>, rank: usize) -> Self {
+        Rank { world, rank, clock: Cell::new(0), seq: Cell::new(0), stats: Default::default() }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn nprocs(&self) -> usize {
+        self.world.nprocs()
+    }
+
+    /// The world's cost model.
+    pub fn cost(&self) -> &CostModel {
+        self.world.cost()
+    }
+
+    /// Current virtual time, ns.
+    pub fn now(&self) -> u64 {
+        self.clock.get()
+    }
+
+    /// Advance the virtual clock by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.clock.set(self.clock.get() + ns);
+    }
+
+    /// Move the clock forward to `t` if `t` is later.
+    pub fn advance_to(&self, t: u64) {
+        if t > self.clock.get() {
+            self.clock.set(t);
+        }
+    }
+
+    /// Charge the processing of `n` offset/length pairs (Compute phase).
+    pub fn charge_pairs(&self, n: u64) {
+        let ns = self.cost().pairs_ns(n);
+        self.advance(ns);
+        let mut s = self.stats.borrow_mut();
+        s.pairs_processed += n;
+        s.phase_ns[Phase::Compute as usize] += ns;
+    }
+
+    /// Charge a local buffer copy of `bytes` (Compute phase).
+    pub fn charge_memcpy(&self, bytes: u64) {
+        let ns = self.cost().memcpy_ns(bytes);
+        self.advance(ns);
+        let mut s = self.stats.borrow_mut();
+        s.memcpy_bytes += bytes;
+        s.phase_ns[Phase::Compute as usize] += ns;
+    }
+
+    /// Attribute `ns` of already-elapsed virtual time to a phase.
+    pub fn note_phase(&self, phase: Phase, ns: u64) {
+        self.stats.borrow_mut().phase_ns[phase as usize] += ns;
+    }
+
+    /// Snapshot of this rank's counters.
+    pub fn stats(&self) -> Stats {
+        self.stats.borrow().clone()
+    }
+
+    // ----- point to point ------------------------------------------------
+
+    /// Eager send: never blocks. The message becomes available at the
+    /// destination after latency + transfer time.
+    pub fn send(&self, dst: usize, tag: u64, data: &[u8]) {
+        debug_assert!(tag < INTERNAL_BASE, "user tags must stay below 2^40");
+        self.send_tagged(dst, tag, data);
+    }
+
+    fn send_tagged(&self, dst: usize, tag: u64, data: &[u8]) {
+        let c = self.cost();
+        self.advance(c.send_overhead_ns);
+        let avail_at = self.now() + c.msg_ns(data.len());
+        {
+            let mut s = self.stats.borrow_mut();
+            s.msgs_sent += 1;
+            s.bytes_sent += data.len() as u64;
+            s.phase_ns[Phase::Comm as usize] += c.send_overhead_ns;
+        }
+        self.world.deliver(dst, self.rank, tag, Msg { data: data.to_vec(), avail_at });
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        debug_assert!(tag < INTERNAL_BASE, "user tags must stay below 2^40");
+        self.recv_tagged(src, tag)
+    }
+
+    fn recv_tagged(&self, src: usize, tag: u64) -> Vec<u8> {
+        let m = self.world.take(self.rank, src, tag);
+        let before = self.now();
+        self.advance_to(m.avail_at);
+        self.advance(self.cost().recv_overhead_ns);
+        self.stats.borrow_mut().phase_ns[Phase::Comm as usize] += self.now() - before;
+        m.data
+    }
+
+    /// Post a non-blocking receive; complete it with [`Rank::wait`].
+    pub fn irecv(&self, src: usize, tag: u64) -> RecvReq {
+        RecvReq { src, tag }
+    }
+
+    /// Complete a posted receive.
+    pub fn wait(&self, req: RecvReq) -> Vec<u8> {
+        self.recv_tagged(req.src, req.tag)
+    }
+
+    /// Complete many receives; the result order matches the request order.
+    pub fn waitall(&self, reqs: Vec<RecvReq>) -> Vec<Vec<u8>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    // ----- collectives ----------------------------------------------------
+
+    fn next_coll_tag(&self, op: u64, round: u64) -> u64 {
+        INTERNAL_BASE + self.seq.get() * 64 + op * 8 + round
+    }
+
+    fn finish_coll(&self) {
+        self.seq.set(self.seq.get() + 1);
+    }
+
+    /// Dissemination barrier; also synchronizes virtual clocks to a common
+    /// lower bound (every rank ends at ≥ the max participant clock).
+    pub fn barrier(&self) {
+        let p = self.nprocs();
+        if p == 1 {
+            self.finish_coll();
+            return;
+        }
+        let mut k = 0u64;
+        let mut dist = 1usize;
+        while dist < p {
+            let tag = self.next_coll_tag(0, k);
+            let dst = (self.rank + dist) % p;
+            let src = (self.rank + p - dist) % p;
+            self.send_tagged(dst, tag, &[]);
+            let _ = self.recv_tagged(src, tag);
+            dist *= 2;
+            k += 1;
+        }
+        self.finish_coll();
+    }
+
+    /// Binomial-tree broadcast from `root`.
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let p = self.nprocs();
+        if p == 1 {
+            self.finish_coll();
+            return data;
+        }
+        let vrank = (self.rank + p - root) % p;
+        let tag = self.next_coll_tag(1, 0);
+        let mut buf = data;
+        // MPICH-style binomial tree: scan up to the lowest set bit to find
+        // the parent, then send to children at descending bit positions.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent = ((vrank - mask) + root) % p;
+                buf = self.recv_tagged(parent, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < p {
+                let child = ((vrank + mask) + root) % p;
+                self.send_tagged(child, tag, &buf);
+            }
+            mask >>= 1;
+        }
+        self.finish_coll();
+        buf
+    }
+
+    /// Ring allgather of variable-size blocks; result indexed by rank.
+    pub fn allgatherv(&self, mine: &[u8]) -> Vec<Vec<u8>> {
+        let p = self.nprocs();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        out[self.rank] = mine.to_vec();
+        if p == 1 {
+            self.finish_coll();
+            return out;
+        }
+        let right = (self.rank + 1) % p;
+        let left = (self.rank + p - 1) % p;
+        for step in 0..p - 1 {
+            let tag = self.next_coll_tag(2, step as u64);
+            // Send the block received in the previous step (or own block).
+            let send_idx = (self.rank + p - step) % p;
+            let payload = out[send_idx].clone();
+            self.send_tagged(right, tag, &payload);
+            let recv_idx = (self.rank + p - step - 1) % p;
+            out[recv_idx] = self.recv_tagged(left, tag);
+        }
+        self.finish_coll();
+        out
+    }
+
+    /// Pairwise-exchange all-to-all of variable-size blocks. Always sends
+    /// one message per peer (including empty blocks), like a true
+    /// `MPI_Alltoallv`. For sparse exchanges prefer [`Rank::exchange`].
+    pub fn alltoallv(&self, blocks: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let p = self.nprocs();
+        assert_eq!(blocks.len(), p, "alltoallv needs one block per rank");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        // Self block: local copy charge.
+        self.charge_memcpy(blocks[self.rank].len() as u64);
+        out[self.rank] = blocks[self.rank].clone();
+        for step in 1..p {
+            let tag = self.next_coll_tag(3, step as u64);
+            let dst = (self.rank + step) % p;
+            let src = (self.rank + p - step) % p;
+            self.send_tagged(dst, tag, &blocks[dst]);
+            out[src] = self.recv_tagged(src, tag);
+        }
+        self.finish_coll();
+        out
+    }
+
+    /// Sparse exchange: send `sends` (rank, payload) pairs, receive one
+    /// message from every rank in `recv_from`. All participants must call
+    /// this the same number of times with consistent expectations. Returns
+    /// `(src, payload)` pairs in `recv_from` order.
+    pub fn exchange(
+        &self,
+        sends: &[(usize, Vec<u8>)],
+        recv_from: &[usize],
+    ) -> Vec<(usize, Vec<u8>)> {
+        let tag = self.next_coll_tag(4, 0);
+        let mut self_payloads = std::collections::VecDeque::new();
+        for (dst, payload) in sends {
+            if *dst == self.rank {
+                self_payloads.push_back(payload.clone());
+            } else {
+                self.send_tagged(*dst, tag, payload);
+            }
+        }
+        let mut out = Vec::with_capacity(recv_from.len());
+        for &src in recv_from {
+            if src == self.rank {
+                // Local delivery without the network.
+                let payload = self_payloads
+                    .pop_front()
+                    .expect("recv_from lists self but no send targets self");
+                self.charge_memcpy(payload.len() as u64);
+                out.push((self.rank, payload));
+            } else {
+                out.push((src, self.recv_tagged(src, tag)));
+            }
+        }
+        debug_assert!(
+            self_payloads.is_empty(),
+            "send to self without matching self in recv_from"
+        );
+        self.finish_coll();
+        out
+    }
+
+    /// Gather variable-size blocks at `root` (binomial tree). Non-roots
+    /// receive an empty vector.
+    pub fn gatherv(&self, root: usize, mine: &[u8]) -> Vec<Vec<u8>> {
+        let p = self.nprocs();
+        let tag = self.next_coll_tag(5, 0);
+        // Binomial gather on virtual ranks relative to root: each node
+        // accumulates its subtree's blocks, then forwards to its parent.
+        let vrank = (self.rank + p - root) % p;
+        let mut acc: Vec<(usize, Vec<u8>)> = vec![(self.rank, mine.to_vec())];
+        let mut mask = 1usize;
+        // Collect children while ascending to this node's lowest set bit;
+        // children past the world size simply don't exist.
+        while vrank & mask == 0 && mask < p {
+            if vrank + mask < p {
+                let child = ((vrank + mask) + root) % p;
+                let payload = self.recv_tagged(child, tag);
+                acc.extend(decode_blocks(&payload));
+            }
+            mask <<= 1;
+        }
+        if vrank != 0 {
+            let parent = ((vrank - mask) + root) % p;
+            self.send_tagged(parent, tag, &encode_blocks(&acc));
+            self.finish_coll();
+            return Vec::new();
+        }
+        self.finish_coll();
+        let mut out = vec![Vec::new(); p];
+        for (src, data) in acc {
+            out[src] = data;
+        }
+        out
+    }
+
+    /// Scatter per-rank blocks from `root` (binomial tree). Only the root
+    /// provides `blocks`; every rank returns its own block.
+    pub fn scatterv(&self, root: usize, blocks: Vec<Vec<u8>>) -> Vec<u8> {
+        let p = self.nprocs();
+        let tag = self.next_coll_tag(6, 0);
+        let vrank = (self.rank + p - root) % p;
+        // Receive this subtree's blocks from the parent (non-roots).
+        let mut subtree: Vec<(usize, Vec<u8>)> = if vrank == 0 {
+            assert_eq!(blocks.len(), p, "root must provide one block per rank");
+            blocks.into_iter().enumerate().collect()
+        } else {
+            let mut mask = 1usize;
+            while vrank & mask == 0 {
+                mask <<= 1;
+            }
+            let parent = ((vrank - mask) + root) % p;
+            decode_blocks(&self.recv_tagged(parent, tag))
+        };
+        // Forward sub-subtrees to children, keeping our own block.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                break;
+            }
+            if vrank + mask < p {
+                // Children's virtual ranks are in [vrank+mask, vrank+2*mask).
+                let lo = vrank + mask;
+                let hi = (vrank + 2 * mask).min(p);
+                let in_range = |r: usize| {
+                    let vr = (r + p - root) % p;
+                    vr >= lo && vr < hi
+                };
+                let (theirs, ours): (Vec<_>, Vec<_>) =
+                    subtree.into_iter().partition(|(r, _)| in_range(*r));
+                subtree = ours;
+                let child = ((vrank + mask) + root) % p;
+                self.send_tagged(child, tag, &encode_blocks(&theirs));
+            }
+            mask <<= 1;
+        }
+        self.finish_coll();
+        debug_assert_eq!(subtree.len(), 1);
+        debug_assert_eq!(subtree[0].0, self.rank);
+        subtree.pop().unwrap().1
+    }
+
+    /// Allreduce over `u64` with a binary operator (gather + local fold).
+    pub fn allreduce_u64(&self, val: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let parts = self.allgatherv(&val.to_le_bytes());
+        parts
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
+            .reduce(op)
+            .unwrap()
+    }
+
+    /// Maximum of `val` across ranks.
+    pub fn allreduce_max(&self, val: u64) -> u64 {
+        self.allreduce_u64(val, u64::max)
+    }
+
+    /// Minimum of `val` across ranks.
+    pub fn allreduce_min(&self, val: u64) -> u64 {
+        self.allreduce_u64(val, u64::min)
+    }
+
+    /// Sum of `val` across ranks.
+    pub fn allreduce_sum(&self, val: u64) -> u64 {
+        self.allreduce_u64(val, |a, b| a + b)
+    }
+}
+
+/// Encode `(rank, payload)` blocks for tree forwarding.
+fn encode_blocks(blocks: &[(usize, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    for (r, b) in blocks {
+        out.extend_from_slice(&(*r as u64).to_le_bytes());
+        out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+fn decode_blocks(buf: &[u8]) -> Vec<(usize, Vec<u8>)> {
+    let rd = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
+    let n = rd(0) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 8usize;
+    for _ in 0..n {
+        let r = rd(pos) as usize;
+        let len = rd(pos + 8) as usize;
+        out.push((r, buf[pos + 16..pos + 16 + len].to_vec()));
+        pos += 16 + len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run;
+
+    #[test]
+    fn p2p_roundtrip() {
+        let out = run(2, CostModel::default(), |r| {
+            if r.rank() == 0 {
+                r.send(1, 7, b"hello");
+                r.recv(1, 8)
+            } else {
+                let m = r.recv(0, 7);
+                r.send(0, 8, &m);
+                m
+            }
+        });
+        assert_eq!(out[0], b"hello");
+        assert_eq!(out[1], b"hello");
+    }
+
+    #[test]
+    fn p2p_fifo_per_tag() {
+        let out = run(2, CostModel::free(), |r| {
+            if r.rank() == 0 {
+                for i in 0..10u8 {
+                    r.send(1, 3, &[i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| r.recv(0, 3)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn recv_waits_for_transfer_time() {
+        let out = run(2, CostModel::default(), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[0u8; 1000]);
+                r.now()
+            } else {
+                let _ = r.recv(0, 1);
+                r.now()
+            }
+        });
+        // Receiver time >= alpha + 1000 * beta.
+        assert!(out[1] >= 60_000 + 10_000, "recv time {} too small", out[1]);
+        // Sender only pays the send overhead.
+        assert!(out[0] < 10_000);
+    }
+
+    #[test]
+    fn overlap_hides_latency() {
+        let out = run(2, CostModel::default(), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[0u8; 1000]);
+                0
+            } else {
+                let req = r.irecv(0, 1);
+                r.advance(10_000_000); // compute while in flight
+                let t0 = r.now();
+                let _ = r.wait(req);
+                r.now() - t0 // only recv overhead remains
+            }
+        });
+        assert!(out[1] <= 5_000, "latency not hidden: {}", out[1]);
+    }
+
+    #[test]
+    fn barrier_syncs_clocks() {
+        let out = run(4, CostModel::default(), |r| {
+            if r.rank() == 2 {
+                r.advance(1_000_000_000);
+            }
+            r.barrier();
+            r.now()
+        });
+        for t in &out {
+            assert!(*t >= 1_000_000_000, "clock {} below slowest rank", t);
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..5 {
+            let out = run(5, CostModel::default(), |r| {
+                let data = if r.rank() == root { vec![42u8, 1, 2, 3] } else { vec![] };
+                r.bcast(root, data)
+            });
+            for v in out {
+                assert_eq!(v, vec![42u8, 1, 2, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_collects_all() {
+        let out = run(6, CostModel::default(), |r| {
+            let mine = vec![r.rank() as u8; r.rank() + 1];
+            r.allgatherv(&mine)
+        });
+        for v in out {
+            for (i, blk) in v.iter().enumerate() {
+                assert_eq!(blk, &vec![i as u8; i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges() {
+        let p = 5;
+        let out = run(p, CostModel::default(), |r| {
+            let blocks: Vec<Vec<u8>> =
+                (0..p).map(|d| vec![(r.rank() * 10 + d) as u8; d + 1]).collect();
+            r.alltoallv(blocks)
+        });
+        for (dst, v) in out.iter().enumerate() {
+            for (src, blk) in v.iter().enumerate() {
+                assert_eq!(blk, &vec![(src * 10 + dst) as u8; dst + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_sparse() {
+        // Rank 0 sends to 1 and 2; ranks 1,2 send back to 0.
+        let out = run(3, CostModel::default(), |r| match r.rank() {
+            0 => {
+                let got = r.exchange(
+                    &[(1, vec![1]), (2, vec![2])],
+                    &[1, 2],
+                );
+                got.iter().map(|(s, d)| (*s, d.clone())).collect::<Vec<_>>()
+            }
+            me => {
+                let got = r.exchange(&[(0, vec![me as u8 * 10])], &[0]);
+                got.iter().map(|(s, d)| (*s, d.clone())).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[0], vec![(1, vec![10]), (2, vec![20])]);
+        assert_eq!(out[1], vec![(0, vec![1])]);
+        assert_eq!(out[2], vec![(0, vec![2])]);
+    }
+
+    #[test]
+    fn exchange_self_delivery() {
+        let out = run(2, CostModel::free(), |r| {
+            let got = r.exchange(&[(r.rank(), vec![9, 9])], &[r.rank()]);
+            got[0].1.clone()
+        });
+        assert_eq!(out[0], vec![9, 9]);
+        assert_eq!(out[1], vec![9, 9]);
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let out = run(4, CostModel::default(), |r| {
+            let v = (r.rank() + 1) as u64;
+            (r.allreduce_max(v), r.allreduce_min(v), r.allreduce_sum(v))
+        });
+        for (mx, mn, sm) in out {
+            assert_eq!((mx, mn, sm), (4, 1, 10));
+        }
+    }
+
+    #[test]
+    fn collectives_back_to_back_do_not_cross_talk() {
+        let out = run(3, CostModel::free(), |r| {
+            let mut acc = Vec::new();
+            for i in 0..20u8 {
+                let v = r.allgatherv(&[r.rank() as u8, i]);
+                acc.push(v);
+            }
+            acc
+        });
+        for v in out {
+            for (i, round) in v.iter().enumerate() {
+                for (src, blk) in round.iter().enumerate() {
+                    assert_eq!(blk, &vec![src as u8, i as u8]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_at_root() {
+        for root in 0..5 {
+            let out = run(5, CostModel::default(), move |r| {
+                let mine = vec![r.rank() as u8; r.rank() + 1];
+                r.gatherv(root, &mine)
+            });
+            for (rank, v) in out.iter().enumerate() {
+                if rank == root {
+                    for (src, blk) in v.iter().enumerate() {
+                        assert_eq!(blk, &vec![src as u8; src + 1], "root {root} src {src}");
+                    }
+                } else {
+                    assert!(v.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatterv_distributes_from_root() {
+        for root in 0..5 {
+            let out = run(5, CostModel::default(), move |r| {
+                let blocks = if r.rank() == root {
+                    (0..5).map(|i| vec![i as u8 * 3; i + 2]).collect()
+                } else {
+                    Vec::new()
+                };
+                r.scatterv(root, blocks)
+            });
+            for (rank, blk) in out.iter().enumerate() {
+                assert_eq!(blk, &vec![rank as u8 * 3; rank + 2], "root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let out = run(4, CostModel::free(), |r| {
+            let mine = vec![r.rank() as u8 + 40; 3];
+            let gathered = r.gatherv(0, &mine);
+            let blocks = if r.rank() == 0 { gathered } else { Vec::new() };
+            r.scatterv(0, blocks)
+        });
+        for (rank, blk) in out.iter().enumerate() {
+            assert_eq!(blk, &vec![rank as u8 + 40; 3]);
+        }
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let out = run(2, CostModel::default(), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[0u8; 64]);
+                r.send(1, 1, &[0u8; 36]);
+            } else {
+                let _ = r.recv(0, 1);
+                let _ = r.recv(0, 1);
+            }
+            r.stats()
+        });
+        assert_eq!(out[0].msgs_sent, 2);
+        assert_eq!(out[0].bytes_sent, 100);
+    }
+
+    #[test]
+    fn charge_pairs_advances_clock() {
+        let out = run(1, CostModel::default(), |r| {
+            r.charge_pairs(1000);
+            (r.now(), r.stats().pairs_processed)
+        });
+        assert_eq!(out[0], (120_000, 1000));
+    }
+
+    #[test]
+    fn single_rank_collectives() {
+        let out = run(1, CostModel::default(), |r| {
+            r.barrier();
+            let b = r.bcast(0, vec![5]);
+            let g = r.allgatherv(&[7]);
+            let a = r.alltoallv(vec![vec![9]]);
+            (b, g, a)
+        });
+        let (b, g, a) = &out[0];
+        assert_eq!(b, &vec![5]);
+        assert_eq!(g, &vec![vec![7]]);
+        assert_eq!(a, &vec![vec![9]]);
+    }
+}

@@ -1,0 +1,120 @@
+//! The shared world: mailboxes and rank spawning.
+
+use crate::cost::CostModel;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A message in flight: payload plus the virtual time it becomes available
+/// at the receiver.
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub data: Vec<u8>,
+    pub avail_at: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct MailboxInner {
+    pub queues: HashMap<(usize, u64), VecDeque<Msg>>,
+}
+
+/// One rank's incoming-message store.
+pub(crate) struct Mailbox {
+    pub inner: Mutex<MailboxInner>,
+    pub cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox { inner: Mutex::new(MailboxInner::default()), cv: Condvar::new() }
+    }
+}
+
+/// The shared state of a simulated MPI world.
+pub struct World {
+    pub(crate) nprocs: usize,
+    pub(crate) cost: CostModel,
+    pub(crate) mailboxes: Vec<Mailbox>,
+}
+
+impl World {
+    /// Create a world of `nprocs` ranks with the given cost model.
+    pub fn new(nprocs: usize, cost: CostModel) -> Arc<World> {
+        assert!(nprocs > 0, "world needs at least one rank");
+        Arc::new(World {
+            nprocs,
+            cost,
+            mailboxes: (0..nprocs).map(|_| Mailbox::new()).collect(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The world's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub(crate) fn deliver(&self, dst: usize, src: usize, tag: u64, msg: Msg) {
+        let mb = &self.mailboxes[dst];
+        let mut inner = mb.inner.lock();
+        inner.queues.entry((src, tag)).or_default().push_back(msg);
+        mb.cv.notify_all();
+    }
+
+    pub(crate) fn take(&self, dst: usize, src: usize, tag: u64) -> Msg {
+        let mb = &self.mailboxes[dst];
+        let mut inner = mb.inner.lock();
+        loop {
+            if let Some(q) = inner.queues.get_mut(&(src, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return m;
+                }
+            }
+            mb.cv.wait(&mut inner);
+        }
+    }
+}
+
+/// Run `f` on every rank of a fresh world and return the per-rank results
+/// in rank order. Panics in any rank propagate.
+pub fn run<R, F>(nprocs: usize, cost: CostModel, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&crate::rank::Rank) -> R + Sync,
+{
+    let world = World::new(nprocs, cost);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nprocs)
+            .map(|r| {
+                let world = Arc::clone(&world);
+                let f = &f;
+                s.spawn(move || {
+                    let rank = crate::rank::Rank::new(world, r);
+                    f(&rank)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_rank_order() {
+        let out = run(4, CostModel::free(), |r| r.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = World::new(0, CostModel::free());
+    }
+}

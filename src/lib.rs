@@ -1,0 +1,46 @@
+//! # flexio — a flexible MPI collective I/O implementation (CLUSTER 2006)
+//!
+//! Facade crate re-exporting the full stack:
+//!
+//! * [`types`] — MPI derived datatypes, flattening, file views;
+//! * [`sim`] — the in-process message-passing runtime with virtual time;
+//! * [`pfs`] — the striped parallel file system simulator (Lustre-like);
+//! * [`io`] — independent I/O methods (data sieving, naive, conditional);
+//! * [`core`] — the collective I/O layer: `MpiFile`, hints, file realms,
+//!   the flexible engine and the ROMIO baseline;
+//! * [`hpio`] — the HPIO benchmark generator and the paper's evaluation
+//!   workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flexio::core::{Hints, MpiFile};
+//! use flexio::pfs::{Pfs, PfsConfig};
+//! use flexio::sim::{run, CostModel};
+//! use flexio::types::Datatype;
+//!
+//! let pfs = Pfs::new(PfsConfig::default());
+//! let nprocs = 4;
+//! run(nprocs, CostModel::default(), |rank| {
+//!     let mut f = MpiFile::open(rank, &pfs, "demo", Hints::default()).unwrap();
+//!     // Interleave 1 KiB blocks across ranks.
+//!     let block = Datatype::bytes(1024);
+//!     let ftype = Datatype::resized(0, nprocs as u64 * 1024, block.clone());
+//!     f.set_view(rank.rank() as u64 * 1024, &block, &ftype).unwrap();
+//!     let data = vec![rank.rank() as u8; 8192];
+//!     f.write_all(&data, &Datatype::bytes(8192), 1).unwrap();
+//!     let mut back = vec![0u8; 8192];
+//!     f.read_all(&mut back, &Datatype::bytes(8192), 1).unwrap();
+//!     assert_eq!(back, data);
+//!     f.close();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub use flexio_core as core;
+pub use flexio_hpio as hpio;
+pub use flexio_io as io;
+pub use flexio_pfs as pfs;
+pub use flexio_sim as sim;
+pub use flexio_types as types;

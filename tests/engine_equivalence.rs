@@ -1,0 +1,187 @@
+//! Property-based equivalence: for randomized workloads, the flexible
+//! engine (under any hint combination) and the ROMIO baseline must
+//! produce byte-identical files, and collective reads must return
+//! exactly what collective writes stored.
+
+use flexio::core::{Engine, ExchangeMode, Hints, MpiFile};
+use flexio::io::IoMethod;
+use flexio::pfs::{Pfs, PfsConfig, PfsCostModel};
+use flexio::sim::{run, CostModel};
+use flexio::types::{Datatype, Dt};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomized per-rank access pattern: strided blocks, rank-shifted.
+#[derive(Debug, Clone)]
+struct Workload {
+    nprocs: usize,
+    block: u64,
+    gap: u64,
+    count: u64,
+    disp_unit: u64,
+}
+
+impl Workload {
+    fn filetype(&self) -> Dt {
+        let unit = (self.block + self.gap) * self.nprocs as u64;
+        Datatype::resized(0, unit, Datatype::bytes(self.block))
+    }
+
+    fn disp(&self, rank: usize) -> u64 {
+        rank as u64 * self.disp_unit
+    }
+
+    fn bytes_per_rank(&self) -> u64 {
+        self.block * self.count
+    }
+
+    fn data(&self, rank: usize) -> Vec<u8> {
+        (0..self.bytes_per_rank())
+            .map(|i| ((rank as u64 * 89 + i * 13 + 5) % 247) as u8)
+            .collect()
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (2usize..6, 1u64..48, 0u64..64, 1u64..24).prop_map(|(nprocs, block, gap, count)| {
+        Workload {
+            nprocs,
+            block,
+            gap,
+            count,
+            disp_unit: block + gap,
+        }
+    })
+}
+
+fn run_write(w: &Workload, hints: Hints) -> Vec<u8> {
+    let pfs = Pfs::new(PfsConfig {
+        n_osts: 3,
+        stripe_size: 192,
+        page_size: 32,
+        locking: false,
+        lock_expansion: true,
+        client_cache: false,
+        cost: PfsCostModel::free(),
+    });
+    {
+        let pfs = Arc::clone(&pfs);
+        let w = w.clone();
+        run(w.nprocs, CostModel::free(), move |rank| {
+            let mut f = MpiFile::open(rank, &pfs, "eq", hints.clone()).unwrap();
+            f.set_view(w.disp(rank.rank()), &Datatype::bytes(1), &w.filetype()).unwrap();
+            let data = w.data(rank.rank());
+            f.write_all(&data, &Datatype::bytes(w.bytes_per_rank()), 1).unwrap();
+            f.close();
+        });
+    }
+    let h = pfs.open("eq", usize::MAX - 1);
+    let mut out = vec![0u8; h.size() as usize];
+    h.read(0, 0, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flexible and ROMIO engines agree byte for byte.
+    #[test]
+    fn engines_agree(w in arb_workload(), cb_pow in 6u32..12, aggs in 1usize..6) {
+        let cb = 1usize << cb_pow;
+        let base = Hints {
+            cb_nodes: Some(aggs.min(w.nprocs)),
+            cb_buffer_size: cb,
+            ..Hints::default()
+        };
+        let flexible = run_write(&w, Hints { engine: Engine::Flexible, ..base.clone() });
+        let romio = run_write(&w, Hints { engine: Engine::Romio, ..base });
+        prop_assert_eq!(flexible, romio);
+    }
+
+    /// Hint combinations never change the bytes, only the timing.
+    #[test]
+    fn hints_do_not_change_bytes(
+        w in arb_workload(),
+        pfr in any::<bool>(),
+        align in any::<bool>(),
+        alltoallw in any::<bool>(),
+        naive in any::<bool>(),
+    ) {
+        let reference = run_write(&w, Hints::default());
+        let hints = Hints {
+            persistent_file_realms: pfr,
+            fr_alignment: align.then_some(192),
+            exchange: if alltoallw { ExchangeMode::Alltoallw } else { ExchangeMode::Nonblocking },
+            io_method: if naive { IoMethod::Naive } else { IoMethod::DataSieve { buffer: 128 } },
+            cb_buffer_size: 256,
+            ..Hints::default()
+        };
+        let shuffled = run_write(&w, hints);
+        prop_assert_eq!(reference, shuffled);
+    }
+
+    /// write_all then read_all round-trips under random hints.
+    #[test]
+    fn write_read_roundtrip(w in arb_workload(), aggs in 1usize..6, romio in any::<bool>()) {
+        let pfs = Pfs::new(PfsConfig {
+            n_osts: 3,
+            stripe_size: 192,
+            page_size: 32,
+            locking: false,
+            lock_expansion: true,
+            client_cache: false,
+            cost: PfsCostModel::free(),
+        });
+        let w2 = w.clone();
+        let outs = run(w.nprocs, CostModel::free(), move |rank| {
+            let hints = Hints {
+                engine: if romio { Engine::Romio } else { Engine::Flexible },
+                cb_nodes: Some(aggs.min(w2.nprocs)),
+                cb_buffer_size: 512,
+                ..Hints::default()
+            };
+            let mut f = MpiFile::open(rank, &pfs, "rt", hints).unwrap();
+            f.set_view(w2.disp(rank.rank()), &Datatype::bytes(1), &w2.filetype()).unwrap();
+            let data = w2.data(rank.rank());
+            f.write_all(&data, &Datatype::bytes(w2.bytes_per_rank()), 1).unwrap();
+            let mut back = vec![0u8; data.len()];
+            f.read_all(&mut back, &Datatype::bytes(w2.bytes_per_rank()), 1).unwrap();
+            f.close();
+            (data, back)
+        });
+        for (data, back) in outs {
+            prop_assert_eq!(data, back);
+        }
+    }
+
+    /// Independent I/O through a view agrees with collective I/O.
+    #[test]
+    fn independent_agrees_with_collective(w in arb_workload()) {
+        let collective = run_write(&w, Hints::default());
+        // Same pattern via independent write_at from each rank in turn.
+        let pfs = Pfs::new(PfsConfig {
+            n_osts: 3,
+            stripe_size: 192,
+            page_size: 32,
+            locking: false,
+            lock_expansion: true,
+            client_cache: false,
+            cost: PfsCostModel::free(),
+        });
+        {
+            let pfs = Arc::clone(&pfs);
+            let w = w.clone();
+            run(w.nprocs, CostModel::free(), move |rank| {
+                let mut f = MpiFile::open(rank, &pfs, "ind", Hints::default()).unwrap();
+                f.set_view(w.disp(rank.rank()), &Datatype::bytes(1), &w.filetype()).unwrap();
+                let data = w.data(rank.rank());
+                f.write_at(0, &data, &Datatype::bytes(w.bytes_per_rank()), 1).unwrap();
+                f.close();
+            });
+        }
+        let h = pfs.open("ind", usize::MAX - 1);
+        let mut independent = vec![0u8; h.size() as usize];
+        h.read(0, 0, &mut independent);
+        prop_assert_eq!(collective, independent);
+    }
+}
