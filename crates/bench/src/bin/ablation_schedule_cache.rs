@@ -1,0 +1,177 @@
+//! Ablation: the exchange-schedule cache on the steady-state checkpoint
+//! pattern — persistent file realms, one fixed block-cyclic view, 32 time
+//! steps each overwriting the checkpoint region with fresh data.
+//!
+//! Call 1 derives the schedule (identically with the cache on or off);
+//! calls 2..N replay it on a hit, skipping metadata parsing, realm walks
+//! and stream intersection. The harness reports per-step offset/length
+//! pairs processed and per-step virtual wall-clock for both settings, and
+//! verifies the final file images are byte-identical.
+//!
+//! Paper-shaped scale (`--paper`): 64 clients, 32 aggregators, 2 MiB
+//! stripes, 100 × 32 B elements per point, 2048 points per rank. Default
+//! scale shrinks clients and points so the run finishes in seconds.
+
+use flexio_bench::{print_table, Scale};
+use flexio_core::{Hints, MpiFile};
+use flexio_io::IoMethod;
+use flexio_pfs::{Pfs, PfsConfig};
+use flexio_sim::{run, CostModel, XorShift64Star};
+use flexio_types::Datatype;
+use std::sync::Arc;
+
+const STEPS: u64 = 32;
+
+#[derive(Clone, Copy)]
+struct Ckpt {
+    nprocs: usize,
+    /// Bytes of one rank's slice inside a point (elems_per_point * 32).
+    slice: u64,
+    /// Block-cyclic points per rank in the checkpoint region.
+    points: u64,
+    stripe: u64,
+}
+
+impl Ckpt {
+    fn bytes_per_rank(&self) -> u64 {
+        self.slice * self.points
+    }
+    fn data(&self, rank: usize, step: u64) -> Vec<u8> {
+        let mut rng = XorShift64Star::new(((rank as u64) << 32) | (step + 1));
+        let mut buf = vec![0u8; self.bytes_per_rank() as usize];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+}
+
+struct Outcome {
+    /// Sum over ranks of pairs processed, one entry per time step.
+    pairs_per_step: Vec<u64>,
+    /// Slowest rank's virtual ns, one entry per time step.
+    ns_per_step: Vec<u64>,
+    image: Vec<u8>,
+}
+
+fn run_checkpoint(c: Ckpt, cache: bool) -> Outcome {
+    let pfs = Pfs::new(PfsConfig {
+        stripe_size: c.stripe,
+        page_size: 4096,
+        locking: true,
+        lock_expansion: true,
+        client_cache: true,
+        ..PfsConfig::default()
+    });
+    let per_rank = run(c.nprocs, CostModel::default(), {
+        let pfs = Arc::clone(&pfs);
+        move |rank| {
+            let hints = Hints {
+                schedule_cache: cache,
+                persistent_file_realms: true,
+                fr_alignment: Some(c.stripe),
+                cb_nodes: Some(c.nprocs / 2),
+                io_method: IoMethod::DataSieve { buffer: 512 << 10 },
+                ..Hints::default()
+            };
+            let mut f = MpiFile::open(rank, &pfs, "ckpt", hints).unwrap();
+            // One fixed view for the whole run: rank r owns slice r of
+            // every point, the checkpoint is overwritten in place each
+            // step (restart-file pattern).
+            let ftype =
+                Datatype::resized(0, c.nprocs as u64 * c.slice, Datatype::bytes(c.slice));
+            f.set_view(rank.rank() as u64 * c.slice, &Datatype::bytes(1), &ftype).unwrap();
+            let mut per_step = Vec::with_capacity(STEPS as usize);
+            for s in 0..STEPS {
+                let data = c.data(rank.rank(), s);
+                rank.barrier();
+                let p0 = rank.stats().pairs_processed;
+                let t0 = rank.now();
+                f.write_all(&data, &Datatype::bytes(data.len() as u64), 1).unwrap();
+                let ns = rank.allreduce_max(rank.now() - t0);
+                per_step.push((rank.stats().pairs_processed - p0, ns));
+            }
+            f.close();
+            per_step
+        }
+    });
+    let pairs_per_step = (0..STEPS as usize)
+        .map(|s| per_rank.iter().map(|r| r[s].0).sum())
+        .collect();
+    let ns_per_step = (0..STEPS as usize).map(|s| per_rank[0][s].1).collect();
+    let h = pfs.open("ckpt", usize::MAX - 1);
+    let mut image = vec![0u8; h.size() as usize];
+    h.read(0, 0, &mut image);
+    Outcome { pairs_per_step, ns_per_step, image }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let c = if scale.paper {
+        Ckpt { nprocs: 64, slice: 3200, points: 2048, stripe: 2 << 20 }
+    } else {
+        Ckpt { nprocs: 16, slice: 3200, points: 256, stripe: 512 << 10 }
+    };
+
+    let on = run_checkpoint(c, true);
+    let off = run_checkpoint(c, false);
+    assert_eq!(on.image, off.image, "cache changed the bytes on disk");
+    // The surviving checkpoint must be the last step's data.
+    for r in 0..c.nprocs {
+        let want = c.data(r, STEPS - 1);
+        for p in 0..c.points {
+            let off_b = (p * c.nprocs as u64 * c.slice + r as u64 * c.slice) as usize;
+            let src = (p * c.slice) as usize;
+            assert_eq!(
+                &on.image[off_b..off_b + c.slice as usize],
+                &want[src..src + c.slice as usize],
+                "rank {r} point {p} corrupted"
+            );
+        }
+    }
+
+    println!(
+        "# Ablation — exchange-schedule cache, {}-step checkpoint overwrite \
+         ({} clients, {} aggregators, PFR + aligned realms)",
+        STEPS,
+        c.nprocs,
+        c.nprocs / 2
+    );
+    println!("# columns: step,pairs_cache_on,pairs_cache_off,ms_cache_on,ms_cache_off");
+    for s in 0..STEPS as usize {
+        println!(
+            "{},{},{},{:.3},{:.3}",
+            s + 1,
+            on.pairs_per_step[s],
+            off.pairs_per_step[s],
+            on.ns_per_step[s] as f64 / 1e6,
+            off.ns_per_step[s] as f64 / 1e6,
+        );
+    }
+
+    let steady = |v: &[u64]| v[1..].iter().sum::<u64>() as f64 / (v.len() - 1) as f64;
+    let xs: Vec<String> = ["call 1", "calls 2..N (avg)"].iter().map(|s| s.to_string()).collect();
+    let series = vec![
+        ("pairs on".to_string(), vec![on.pairs_per_step[0] as f64, steady(&on.pairs_per_step)]),
+        ("pairs off".to_string(), vec![off.pairs_per_step[0] as f64, steady(&off.pairs_per_step)]),
+        ("ms on".to_string(), vec![
+            on.ns_per_step[0] as f64 / 1e6,
+            steady(&on.ns_per_step) / 1e6,
+        ]),
+        ("ms off".to_string(), vec![
+            off.ns_per_step[0] as f64 / 1e6,
+            steady(&off.ns_per_step) / 1e6,
+        ]),
+    ];
+    print_table("Exchange-schedule cache ablation", "phase", &xs, &series);
+
+    assert_eq!(
+        on.pairs_per_step[0], off.pairs_per_step[0],
+        "call 1 must charge identically with the cache armed"
+    );
+    assert!(
+        steady(&on.pairs_per_step) < steady(&off.pairs_per_step),
+        "steady-state pairs must drop with the cache on"
+    );
+    let speedup = steady(&off.ns_per_step) / steady(&on.ns_per_step);
+    println!("\nsteady-state virtual-time speedup: {speedup:.3}x");
+    println!("file images byte-identical: yes");
+}

@@ -19,6 +19,7 @@
 //!   alltoallw-style collective that skips pack/unpack copies.
 
 use crate::engine::common::{group_by_window, merge_pieces, ClientStream, Piece};
+use crate::engine::schedule::{self, schedule_key, CycleSchedule, ExchangeSchedule};
 use crate::error::Result;
 use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
 use crate::meta::ClientAccess;
@@ -45,7 +46,13 @@ impl DataBuf<'_> {
 /// Run one collective read/write with the flexible engine. Must be called
 /// by every rank of the world (standard collective semantics); ranks with
 /// `my.data_len == 0` still participate in the exchanges.
-#[allow(clippy::too_many_lines)]
+///
+/// `sched_cache` holds the last call's exchange schedule. When the digest
+/// of this call's inputs matches, the entire derivation — metadata
+/// parsing, realm assignment, window walks, stream intersection — is
+/// skipped and the cached schedule is replayed against the fresh user
+/// buffer, charging only [`schedule::PROBE_PAIRS`]. A first (miss) call
+/// charges exactly what the pre-cache engine charged.
 pub fn run(
     rank: &Rank,
     handle: &FileHandle,
@@ -54,6 +61,7 @@ pub fn run(
     mut buf: DataBuf<'_>,
     hints: &Hints,
     pfr_state: &mut Option<Vec<FileRealm>>,
+    sched_cache: &mut Option<ExchangeSchedule>,
 ) -> Result<()> {
     let nprocs = rank.nprocs();
     let is_write = buf.is_write();
@@ -61,8 +69,77 @@ pub fn run(
     // ---- metadata exchange: flattened filetypes (D pairs each) ----------
     rank.charge_pairs(my.view.d() as u64);
     let wires = rank.allgatherv(&my.to_wire());
+
+    // ---- schedule-cache probe -------------------------------------------
+    // Every rank sees the same wires and (by MPI collective semantics) the
+    // same hints, so every rank reaches the same hit/miss verdict and the
+    // replayed communication pattern stays globally consistent.
+    let key = schedule_key(&wires, hints, nprocs);
+    let hit = hints.schedule_cache && sched_cache.as_ref().is_some_and(|s| s.key == key);
+    if hints.schedule_cache {
+        rank.note_schedule_cache(hit);
+    }
+    let derived: Option<ExchangeSchedule> = if hit {
+        rank.charge_pairs(schedule::PROBE_PAIRS);
+        None
+    } else {
+        Some(derive_schedule(rank, &wires, key, my, hints, pfr_state))
+    };
+    let sched = match &derived {
+        Some(s) => s,
+        None => sched_cache.as_ref().expect("hit implies a cached schedule"),
+    };
+
+    // ---- buffer cycles ----------------------------------------------------
+    // Derivation pairs are charged where the pre-cache engine charged
+    // them — parse before the loop, window/stream work at the top of each
+    // cycle — so a miss's virtual clock matches the uncached engine at
+    // every send and file request. A hit skips all of it.
+    if !hit {
+        rank.charge_pairs(sched.parse_pairs);
+    }
+    for cyc in &sched.cycles {
+        if !hit {
+            rank.charge_pairs(cyc.pairs);
+        }
+        if is_write {
+            cycle_write(
+                rank, handle, my, mem, &buf, hints, &sched.agg_ranks, &cyc.my_pieces,
+                &cyc.agg_pieces, &cyc.my_window,
+            );
+        } else {
+            cycle_read(
+                rank, handle, my, mem, &mut buf, hints, &sched.agg_ranks, &cyc.my_pieces,
+                &cyc.agg_pieces, &cyc.my_window,
+            );
+        }
+    }
+
+    if hints.schedule_cache {
+        if let Some(s) = derived {
+            *sched_cache = Some(s);
+        }
+    }
+    Ok(())
+}
+
+/// Derive the full per-cycle exchange schedule for one collective call,
+/// charging the same pair-processing costs the engine always charged for
+/// this work. Pure computation over the exchanged metadata: no
+/// communication happens here, so hoisting it out of the cycle loop (to
+/// make it cacheable) cannot change message ordering.
+#[allow(clippy::too_many_lines)]
+fn derive_schedule(
+    rank: &Rank,
+    wires: &[Vec<u8>],
+    key: u64,
+    my: &ClientAccess,
+    hints: &Hints,
+    pfr_state: &mut Option<Vec<FileRealm>>,
+) -> ExchangeSchedule {
+    let nprocs = rank.nprocs();
     let clients: Vec<ClientAccess> = wires.iter().map(|w| ClientAccess::from_wire(w)).collect();
-    rank.charge_pairs(clients.iter().map(|c| c.view.d() as u64).sum());
+    let parse_pairs: u64 = clients.iter().map(|c| c.view.d() as u64).sum();
 
     // ---- aggregate access region ----------------------------------------
     let mut lo = u64::MAX;
@@ -74,7 +151,9 @@ pub fn run(
         }
     }
     if hi <= lo {
-        return Ok(()); // every rank's access is empty; all agree
+        // Every rank's access is empty; all agree. An empty schedule is
+        // cached too, so repeated empty calls hit.
+        return ExchangeSchedule { key, agg_ranks: Vec::new(), cycles: Vec::new(), parse_pairs };
     }
 
     // ---- realm assignment -------------------------------------------------
@@ -86,20 +165,21 @@ pub fn run(
         alignment: hints.fr_alignment,
         clients: &clients,
     };
-    let realms: Vec<FileRealm> = if hints.persistent_file_realms {
+    let assign = |ctx: &AssignCtx<'_>, default: &dyn RealmAssigner| match &hints.realm_assigner {
+        Some(a) => a.assign(ctx),
+        None => default.assign(ctx),
+    };
+    // Persistent realms are borrowed from the per-file state, not cloned
+    // per call; non-persistent realms live only for this derivation.
+    let computed: Vec<FileRealm>;
+    let realms: &[FileRealm] = if hints.persistent_file_realms {
         if pfr_state.is_none() {
-            let assigned = match &hints.realm_assigner {
-                Some(a) => a.assign(&ctx),
-                None => PersistentBlockCyclic.assign(&ctx),
-            };
-            *pfr_state = Some(assigned);
+            *pfr_state = Some(assign(&ctx, &PersistentBlockCyclic));
         }
-        pfr_state.clone().unwrap()
+        pfr_state.as_deref().unwrap()
     } else {
-        match &hints.realm_assigner {
-            Some(a) => a.assign(&ctx),
-            None => EvenAar.assign(&ctx),
-        }
+        computed = assign(&ctx, &EvenAar);
+        &computed
     };
     assert_eq!(realms.len(), n_agg, "assigner must produce one realm per aggregator");
 
@@ -118,11 +198,11 @@ pub fn run(
     let mut my_streams: Vec<ClientStream> =
         (0..n_agg).map(|_| ClientStream::new(my.clone())).collect();
 
-    // ---- buffer cycles ---------------------------------------------------------
+    let mut cycles: Vec<CycleSchedule> = Vec::with_capacity(ntimes as usize);
     for t in 0..ntimes {
         // Every rank derives every aggregator's window (realms are
         // deterministic, so no extra communication is needed).
-        let windows: Vec<Vec<(u64, u64)>> = (0..n_agg)
+        let mut windows: Vec<Vec<(u64, u64)>> = (0..n_agg)
             .map(|a| {
                 let (base, cap) = spans[a];
                 let d0 = base + t * cb;
@@ -134,13 +214,13 @@ pub fn run(
                 }
             })
             .collect();
-        rank.charge_pairs(windows.iter().map(|w| w.len() as u64).sum());
+        let mut pairs: u64 = windows.iter().map(|w| w.len() as u64).sum();
 
         // Client role: my pieces inside each aggregator's window.
         let mut my_pieces: Vec<Vec<Piece>> = Vec::with_capacity(n_agg);
         for a in 0..n_agg {
             let (p, charged) = my_streams[a].take_window(&windows[a]);
-            rank.charge_pairs(charged);
+            pairs += charged;
             my_pieces.push(p);
         }
 
@@ -152,7 +232,7 @@ pub fn run(
                 .enumerate()
                 .map(|(c, s)| {
                     let (p, charged) = s.take_window(w);
-                    rank.charge_pairs(charged);
+                    pairs += charged;
                     (c, p)
                 })
                 .collect()
@@ -160,23 +240,13 @@ pub fn run(
             Vec::new()
         };
 
-        let my_window: &[(u64, u64)] = match my_agg_idx {
-            Some(ai) => &windows[ai],
-            None => &[],
+        let my_window = match my_agg_idx {
+            Some(ai) => std::mem::take(&mut windows[ai]),
+            None => Vec::new(),
         };
-        if is_write {
-            cycle_write(
-                rank, handle, my, mem, &buf, hints, &agg_ranks, &my_pieces, &agg_pieces,
-                my_window,
-            );
-        } else {
-            cycle_read(
-                rank, handle, my, mem, &mut buf, hints, &agg_ranks, &my_pieces, &agg_pieces,
-                my_window,
-            );
-        }
+        cycles.push(CycleSchedule { my_window, my_pieces, agg_pieces, pairs });
     }
-    Ok(())
+    ExchangeSchedule { key, agg_ranks, cycles, parse_pairs }
 }
 
 /// Pack this rank's outgoing payload for one aggregator.

@@ -9,6 +9,8 @@
 pub mod common;
 pub mod flexible;
 pub mod romio;
+pub mod schedule;
 
 pub use common::{intersect_window, merge_pieces, ClientStream, Piece};
 pub use flexible::DataBuf;
+pub use schedule::{CycleSchedule, ExchangeSchedule};

@@ -1,0 +1,161 @@
+//! Persistent exchange schedules for the flexible engine.
+//!
+//! Deriving a collective call's data-movement plan — per-aggregator
+//! windows, each client's `Piece` lists, each aggregator's per-client
+//! `Piece` lists — is pure computation over the participants' flattened
+//! filetypes and the realm set. Under persistent file realms (§5.2/§6.4)
+//! and any timestep-loop workload the inputs repeat call after call, so
+//! the plan is identical every time. This module caches the fully derived
+//! plan, keyed by a digest of everything it depends on; on a hit the
+//! engine skips stream re-derivation entirely and replays the cached
+//! schedule against the fresh user buffer.
+//!
+//! The cache lives on [`crate::file::MpiFile`] next to the PFR state and
+//! is invalidated by `set_view` and hint changes. Hits and misses are
+//! counted in [`flexio_sim::Stats`].
+
+use crate::engine::common::Piece;
+use crate::hints::Hints;
+
+/// Offset/length pairs charged for probing the cache on a hit. The probe
+/// is a single digest comparison, far cheaper than re-deriving the
+/// schedule; one pair keeps it visible in the cost model without drowning
+/// the savings.
+pub const PROBE_PAIRS: u64 = 1;
+
+/// One buffer cycle's pre-derived data movement.
+#[derive(Debug, Clone)]
+pub struct CycleSchedule {
+    /// This rank's aggregator window (file segments), empty for pure
+    /// clients or idle cycles.
+    pub my_window: Vec<(u64, u64)>,
+    /// This rank's pieces inside each aggregator's window (client role),
+    /// indexed by aggregator.
+    pub my_pieces: Vec<Vec<Piece>>,
+    /// Every client's pieces inside this rank's window (aggregator role);
+    /// empty for pure clients.
+    pub agg_pieces: Vec<(usize, Vec<Piece>)>,
+    /// Offset/length pairs this cycle's derivation evaluated (window walk
+    /// + client/aggregator stream intersections). Charged at the top of
+    /// the cycle on a miss — the same point the pre-cache engine charged
+    /// them — so the virtual clock at every send and file request is
+    /// bit-identical to the uncached engine. Skipped entirely on a hit.
+    pub pairs: u64,
+}
+
+/// A complete per-call exchange schedule, reusable while its key matches.
+#[derive(Debug, Clone)]
+pub struct ExchangeSchedule {
+    /// Digest of the inputs the schedule was derived from.
+    pub key: u64,
+    /// Aggregator ranks, in aggregator order.
+    pub agg_ranks: Vec<usize>,
+    /// Per-cycle plans, in cycle order.
+    pub cycles: Vec<CycleSchedule>,
+    /// Pairs evaluated parsing every rank's wire metadata, charged before
+    /// the first cycle on a miss (see [`CycleSchedule::pairs`]).
+    pub parse_pairs: u64,
+}
+
+/// FNV-1a, used instead of `std::hash` so the digest is stable across
+/// runs and platforms (no per-process `RandomState`), which keeps
+/// hit/miss traces reproducible.
+#[derive(Clone, Copy)]
+pub struct Digest(u64);
+
+impl Digest {
+    /// Start a new digest.
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb raw bytes.
+    pub fn bytes(mut self, data: &[u8]) -> Self {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Digest(self.0)
+    }
+
+    /// Absorb one u64 (length-prefixing and field separation).
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Finish.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+/// Digest of everything the schedule derivation reads: every rank's wire
+/// metadata (filetype + displacement + access range, which also pins the
+/// aggregate access region), the world size, and the hints that shape
+/// realms and cycles. The realm set itself is a deterministic function of
+/// these inputs, plus the custom assigner's identity when one is plugged
+/// in.
+pub fn schedule_key(wires: &[Vec<u8>], hints: &Hints, nprocs: usize) -> u64 {
+    let mut d = Digest::new()
+        .u64(nprocs as u64)
+        .u64(hints.cb_buffer_size as u64)
+        .u64(hints.aggregators(nprocs) as u64)
+        .u64(hints.fr_alignment.unwrap_or(0))
+        .u64(u64::from(hints.persistent_file_realms))
+        .u64(match &hints.realm_assigner {
+            // Identity of the plugged-in assigner: stable per Arc. A
+            // rebound assigner (new Arc) conservatively misses.
+            Some(a) => std::sync::Arc::as_ptr(a) as *const () as u64,
+            None => 0,
+        });
+    for w in wires {
+        d = d.u64(w.len() as u64).bytes(w);
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wires() -> Vec<Vec<u8>> {
+        vec![vec![1, 2, 3], vec![4, 5], vec![]]
+    }
+
+    #[test]
+    fn key_stable_for_equal_inputs() {
+        let h = Hints::default();
+        assert_eq!(schedule_key(&wires(), &h, 3), schedule_key(&wires(), &h, 3));
+    }
+
+    #[test]
+    fn key_changes_with_inputs() {
+        let h = Hints::default();
+        let base = schedule_key(&wires(), &h, 3);
+        let mut other = wires();
+        other[0][0] = 9;
+        assert_ne!(schedule_key(&other, &h, 3), base);
+        assert_ne!(schedule_key(&wires(), &h, 4), base);
+        let h2 = Hints { cb_buffer_size: 1 << 12, ..Hints::default() };
+        assert_ne!(schedule_key(&wires(), &h2, 3), base);
+        let h3 = Hints { persistent_file_realms: true, ..Hints::default() };
+        assert_ne!(schedule_key(&wires(), &h3, 3), base);
+        let h4 = Hints { fr_alignment: Some(64), ..Hints::default() };
+        assert_ne!(schedule_key(&wires(), &h4, 3), base);
+    }
+
+    #[test]
+    fn key_separates_block_boundaries() {
+        // [1,2],[3] and [1],[2,3] must not collide (length prefixing).
+        let h = Hints::default();
+        let a = schedule_key(&[vec![1, 2], vec![3]], &h, 2);
+        let b = schedule_key(&[vec![1], vec![2, 3]], &h, 2);
+        assert_ne!(a, b);
+    }
+}

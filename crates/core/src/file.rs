@@ -1,6 +1,7 @@
 //! The MPI-IO-like file object: open, set_view, collective and
 //! independent reads/writes, close.
 
+use crate::engine::schedule::ExchangeSchedule;
 use crate::engine::{self, DataBuf};
 use crate::error::{IoError, Result};
 use crate::hints::{Engine, Hints};
@@ -9,7 +10,7 @@ use crate::realm::FileRealm;
 use flexio_io::{read_packed, write_packed};
 use flexio_pfs::{FileHandle, Pfs};
 use flexio_sim::{Phase, Rank};
-use flexio_types::{flatten, Datatype, FileView, MemLayout};
+use flexio_types::{flatten_shared, Datatype, FileView, MemLayout};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -41,6 +42,10 @@ pub struct MpiFile<'r> {
     view: FileView,
     hints: Hints,
     pfr_realms: RefCell<Option<Vec<FileRealm>>>,
+    /// Last collective call's exchange schedule (flexible engine);
+    /// invalidated by `set_view` and hint changes, revalidated per call by
+    /// its input digest.
+    sched_cache: RefCell<Option<ExchangeSchedule>>,
 }
 
 impl<'r> MpiFile<'r> {
@@ -55,6 +60,7 @@ impl<'r> MpiFile<'r> {
             view: FileView::contiguous(0),
             hints,
             pfr_realms: RefCell::new(None),
+            sched_cache: RefCell::new(None),
         })
     }
 
@@ -64,9 +70,13 @@ impl<'r> MpiFile<'r> {
     }
 
     /// Replace the hints (e.g. to switch engine or I/O method mid-run).
+    /// Drops the cached exchange schedule: hints shape realm assignment
+    /// and data movement, so a schedule derived under the old hints must
+    /// not be replayed under the new ones.
     pub fn set_hints(&mut self, hints: Hints) -> Result<()> {
         hints.validate()?;
         self.hints = hints;
+        *self.sched_cache.borrow_mut() = None;
         Ok(())
     }
 
@@ -82,10 +92,17 @@ impl<'r> MpiFile<'r> {
 
     /// Collective `MPI_File_set_view`: tile `filetype` from byte `disp`.
     /// The etype defines the offset unit for the `*_at` operations.
+    ///
+    /// Flattening goes through the content-addressed cache: the first view
+    /// of a datatype charges its full `D` pairs, repeat views of an equal
+    /// type share the existing `Arc<FlatType>` and charge one probe pair.
+    /// Any view change drops the cached exchange schedule.
     pub fn set_view(&mut self, disp: u64, etype: &Datatype, filetype: &Datatype) -> Result<()> {
-        let flat = Arc::new(flatten(filetype));
-        self.rank.charge_pairs(flat.segs.len() as u64);
+        let (flat, hit) = flatten_shared(filetype);
+        self.rank.note_flatten_cache(hit);
+        self.rank.charge_pairs(if hit { 1 } else { flat.segs.len() as u64 });
         self.view = FileView::new(disp, flat, etype.size())?;
+        *self.sched_cache.borrow_mut() = None;
         self.rank.barrier();
         Ok(())
     }
@@ -99,7 +116,9 @@ impl<'r> MpiFile<'r> {
     }
 
     fn mem_layout(&self, buf_len: usize, memtype: &Datatype, count: u64) -> Result<MemLayout> {
-        let mem = MemLayout::new(Arc::new(flatten(memtype)), count);
+        let (flat, hit) = flatten_shared(memtype);
+        self.rank.note_flatten_cache(hit);
+        let mem = MemLayout::new(flat, count);
         let needed = mem.span();
         if needed > buf_len as u64 {
             return Err(IoError::BufferTooSmall { needed, got: buf_len as u64 });
@@ -149,7 +168,10 @@ impl<'r> MpiFile<'r> {
         match self.hints.engine {
             Engine::Flexible => {
                 let mut pfr = self.pfr_realms.borrow_mut();
-                engine::flexible::run(self.rank, &self.handle, acc, mem, buf, &self.hints, &mut pfr)
+                let mut sched = self.sched_cache.borrow_mut();
+                engine::flexible::run(
+                    self.rank, &self.handle, acc, mem, buf, &self.hints, &mut pfr, &mut sched,
+                )
             }
             Engine::Romio => {
                 engine::romio::run(self.rank, &self.handle, acc, mem, buf, &self.hints)

@@ -49,6 +49,13 @@ pub struct Hints {
     pub persistent_file_realms: bool,
     /// Data exchange flavour (§5.4).
     pub exchange: ExchangeMode,
+    /// Cache the derived exchange schedule (windows + piece lists) across
+    /// collective calls with identical inputs, replaying it on a hit
+    /// instead of re-deriving every client↔realm intersection. On (the
+    /// default) it pays for itself on any repeated call — the steady state
+    /// under persistent file realms; off reproduces the pre-cache engine
+    /// exactly (useful for ablations).
+    pub schedule_cache: bool,
     /// Engine selection.
     pub engine: Engine,
     /// Custom file-realm assigner; overrides the built-in choice
@@ -66,6 +73,7 @@ impl Default for Hints {
             fr_alignment: None,
             persistent_file_realms: false,
             exchange: ExchangeMode::default(),
+            schedule_cache: true,
             engine: Engine::default(),
             realm_assigner: None,
         }
@@ -81,6 +89,7 @@ impl std::fmt::Debug for Hints {
             .field("fr_alignment", &self.fr_alignment)
             .field("persistent_file_realms", &self.persistent_file_realms)
             .field("exchange", &self.exchange)
+            .field("schedule_cache", &self.schedule_cache)
             .field("engine", &self.engine)
             .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
             .finish()

@@ -16,6 +16,7 @@
 //! | `flexio_pfr` | `enable` persistent file realms (the paper's PFR switch) |
 //! | `flexio_engine` | `flexible` or `romio` |
 //! | `flexio_exchange` | `nonblocking` or `alltoallw` |
+//! | `flexio_schedule_cache` | `enable`/`disable` exchange-schedule caching (flexio extension, default enable) |
 //!
 //! Unknown keys are ignored, as MPI requires.
 
@@ -90,6 +91,15 @@ pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
                     _ => return Err(IoError::BadHints("flexio_exchange takes nonblocking/alltoallw")),
                 };
             }
+            "flexio_schedule_cache" => {
+                h.schedule_cache = match value {
+                    "enable" | "true" => true,
+                    "disable" | "false" => false,
+                    _ => {
+                        return Err(IoError::BadHints("flexio_schedule_cache takes enable/disable"))
+                    }
+                };
+            }
             _ => {} // unknown hints are ignored per the MPI standard
         }
     }
@@ -158,6 +168,16 @@ mod tests {
         assert!(h.persistent_file_realms);
         assert_eq!(h.engine, Engine::Romio);
         assert_eq!(h.exchange, ExchangeMode::Alltoallw);
+    }
+
+    #[test]
+    fn schedule_cache_switch() {
+        assert!(Hints::default().schedule_cache);
+        let h = hints_from_info(Hints::default(), &[("flexio_schedule_cache", "disable")]).unwrap();
+        assert!(!h.schedule_cache);
+        let h = hints_from_info(h, &[("flexio_schedule_cache", "enable")]).unwrap();
+        assert!(h.schedule_cache);
+        assert!(hints_from_info(Hints::default(), &[("flexio_schedule_cache", "maybe")]).is_err());
     }
 
     #[test]

@@ -55,6 +55,10 @@ impl Profile {
                 bytes_sent: a.bytes_sent - b.bytes_sent,
                 pairs_processed: a.pairs_processed - b.pairs_processed,
                 memcpy_bytes: a.memcpy_bytes - b.memcpy_bytes,
+                schedule_cache_hits: a.schedule_cache_hits - b.schedule_cache_hits,
+                schedule_cache_misses: a.schedule_cache_misses - b.schedule_cache_misses,
+                flatten_cache_hits: a.flatten_cache_hits - b.flatten_cache_hits,
+                flatten_cache_misses: a.flatten_cache_misses - b.flatten_cache_misses,
                 phase_ns: [
                     a.phase_ns[0] - b.phase_ns[0],
                     a.phase_ns[1] - b.phase_ns[1],

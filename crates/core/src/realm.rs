@@ -274,7 +274,7 @@ impl RealmAssigner for BalancedLoad {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

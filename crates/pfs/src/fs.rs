@@ -9,7 +9,7 @@
 use crate::cache::ClientCache;
 use crate::config::PfsConfig;
 use crate::lock::LockTable;
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -126,7 +126,7 @@ impl Pfs {
     /// Open (creating if needed) `path` on behalf of `client`.
     pub fn open(self: &Arc<Self>, path: &str, client: usize) -> FileHandle {
         let file = {
-            let mut files = self.files.lock();
+            let mut files = self.files.lock().unwrap();
             Arc::clone(files.entry(path.to_string()).or_insert_with(|| {
                 Arc::new(FileObj {
                     id: self.next_id.fetch_add(1, Ordering::SeqCst),
@@ -145,7 +145,7 @@ impl Pfs {
 
     /// Delete a file (for test isolation).
     pub fn unlink(&self, path: &str) {
-        self.files.lock().remove(path);
+        self.files.lock().unwrap().remove(path);
     }
 
     /// Snapshot of the global counters.
@@ -181,7 +181,7 @@ impl Pfs {
         let send_bytes = if is_write { len } else { 0 };
         let arrival = now + c.net_ns + (send_bytes as f64 * c.net_ns_per_byte) as u64;
         let span = self.cfg.page_ceil(off + len) - self.cfg.page_floor(off);
-        let mut ost = self.osts[ost_idx].lock();
+        let mut ost = self.osts[ost_idx].lock().unwrap();
         let start = ost.clock.max(arrival);
         let last = ost.last_end.get(&file.id).copied();
         let seek = if last == Some(self.cfg.page_floor(off)) { 0 } else { c.seek_ns };
@@ -253,7 +253,7 @@ impl Pfs {
             return;
         }
         let end = off as usize + data.len();
-        let mut content = file.content.write();
+        let mut content = file.content.write().unwrap();
         if content.len() < end {
             content.resize(end, 0);
         }
@@ -263,7 +263,7 @@ impl Pfs {
     }
 
     fn load(&self, file: &FileObj, off: u64, buf: &mut [u8]) {
-        let content = file.content.read();
+        let content = file.content.read().unwrap();
         let flen = content.len();
         for (i, b) in buf.iter_mut().enumerate() {
             let p = off as usize + i;
@@ -306,7 +306,7 @@ impl FileHandle {
         let lstart = off / ss * ss;
         let lend = (off + len).div_ceil(ss) * ss;
         let mut t = now;
-        let mut coh = self.file.coherency.lock();
+        let mut coh = self.file.coherency.lock().unwrap();
         let acq = coh.table.acquire(self.client, lstart, lend);
         if acq.already_held {
             return t;
@@ -350,7 +350,7 @@ impl FileHandle {
     /// Write `data` at `off`, starting at virtual time `now`; returns the
     /// completion time.
     pub fn write(&self, now: u64, off: u64, data: &[u8]) -> u64 {
-        let _serial = self.file.serial.lock();
+        let _serial = self.file.serial.lock().unwrap();
         self.write_locked(now, off, data)
     }
 
@@ -360,7 +360,7 @@ impl FileHandle {
         }
         let mut t = self.acquire_locks(now, off, data.len() as u64);
         if self.pfs.cfg.client_cache {
-            let mut coh = self.file.coherency.lock();
+            let mut coh = self.file.coherency.lock().unwrap();
             let ps = self.pfs.cfg.page_size;
             let size_before = self.file.size();
             let cache = coh
@@ -414,7 +414,7 @@ impl FileHandle {
     /// Read into `buf` at `off`, starting at virtual time `now`; returns
     /// the completion time. Reads beyond EOF yield zeros.
     pub fn read(&self, now: u64, off: u64, buf: &mut [u8]) -> u64 {
-        let _serial = self.file.serial.lock();
+        let _serial = self.file.serial.lock().unwrap();
         self.read_locked(now, off, buf)
     }
 
@@ -424,7 +424,7 @@ impl FileHandle {
         }
         let mut t = self.acquire_locks(now, off, buf.len() as u64);
         if self.pfs.cfg.client_cache {
-            let mut coh = self.file.coherency.lock();
+            let mut coh = self.file.coherency.lock().unwrap();
             let ps = self.pfs.cfg.page_size;
             let cache = coh
                 .caches
@@ -480,7 +480,7 @@ impl FileHandle {
         packed: &[u8],
         covered: bool,
     ) -> u64 {
-        let _serial = self.file.serial.lock();
+        let _serial = self.file.serial.lock().unwrap();
         let mut buf = vec![0u8; len as usize];
         let mut t = now;
         if !covered {
@@ -501,11 +501,11 @@ impl FileHandle {
     /// the new end; extending is a metadata-only operation (reads of the
     /// new region return zeros).
     pub fn set_size(&self, now: u64, size: u64) -> u64 {
-        let _serial = self.file.serial.lock();
-        let mut coh = self.file.coherency.lock();
+        let _serial = self.file.serial.lock().unwrap();
+        let mut coh = self.file.coherency.lock().unwrap();
         let old = self.file.size();
         if size < old {
-            let mut content = self.file.content.write();
+            let mut content = self.file.content.write().unwrap();
             content.truncate(size as usize);
             for cache in coh.caches.values_mut() {
                 // Dirty pages past the new end are discarded, not flushed.
@@ -527,7 +527,7 @@ impl FileHandle {
         }
         self.file.size.fetch_max(size, Ordering::SeqCst);
         {
-            let mut content = self.file.content.write();
+            let mut content = self.file.content.write().unwrap();
             if content.len() < size as usize {
                 content.resize(size as usize, 0);
             }
@@ -544,7 +544,7 @@ impl FileHandle {
         if !self.pfs.cfg.client_cache {
             return t;
         }
-        let mut coh = self.file.coherency.lock();
+        let mut coh = self.file.coherency.lock().unwrap();
         if let Some(cache) = coh.caches.get_mut(&self.client) {
             for run in cache.take_all_dirty() {
                 self.pfs
@@ -562,7 +562,7 @@ impl FileHandle {
     /// Flush, invalidate the cache, and release this client's locks.
     pub fn close(&self, now: u64) -> u64 {
         let t = self.flush(now);
-        let mut coh = self.file.coherency.lock();
+        let mut coh = self.file.coherency.lock().unwrap();
         if let Some(cache) = coh.caches.get_mut(&self.client) {
             cache.invalidate(0, u64::MAX);
         }

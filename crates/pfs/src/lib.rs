@@ -36,7 +36,7 @@ pub use extent::ExtentSet;
 pub use fs::{FileHandle, FileObj, Pfs, PfsStats, StatsSnapshot};
 pub use lock::{Acquire, LockTable};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

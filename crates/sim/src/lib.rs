@@ -23,14 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod prng;
 pub mod rank;
 pub mod world;
 
 pub use cost::CostModel;
+pub use prng::XorShift64Star;
 pub use rank::{Phase, Rank, RecvReq, Stats};
 pub use world::{run, World};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

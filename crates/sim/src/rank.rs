@@ -41,6 +41,14 @@ pub struct Stats {
     pub memcpy_bytes: u64,
     /// Virtual ns attributed to compute / comm / io phases.
     pub phase_ns: [u64; 3],
+    /// Exchange-schedule cache hits (collective-engine layer).
+    pub schedule_cache_hits: u64,
+    /// Exchange-schedule cache misses (probes that had to re-derive).
+    pub schedule_cache_misses: u64,
+    /// Flatten-cache hits (datatype layer).
+    pub flatten_cache_hits: u64,
+    /// Flatten-cache misses.
+    pub flatten_cache_misses: u64,
 }
 
 /// A handle to one simulated MPI rank.
@@ -117,6 +125,26 @@ impl Rank {
     /// Attribute `ns` of already-elapsed virtual time to a phase.
     pub fn note_phase(&self, phase: Phase, ns: u64) {
         self.stats.borrow_mut().phase_ns[phase as usize] += ns;
+    }
+
+    /// Record an exchange-schedule cache probe outcome.
+    pub fn note_schedule_cache(&self, hit: bool) {
+        let mut s = self.stats.borrow_mut();
+        if hit {
+            s.schedule_cache_hits += 1;
+        } else {
+            s.schedule_cache_misses += 1;
+        }
+    }
+
+    /// Record a flatten-cache probe outcome.
+    pub fn note_flatten_cache(&self, hit: bool) {
+        let mut s = self.stats.borrow_mut();
+        if hit {
+            s.flatten_cache_hits += 1;
+        } else {
+            s.flatten_cache_misses += 1;
+        }
     }
 
     /// Snapshot of this rank's counters.

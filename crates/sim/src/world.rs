@@ -1,9 +1,8 @@
 //! The shared world: mailboxes and rank spawning.
 
 use crate::cost::CostModel;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A message in flight: payload plus the virtual time it becomes available
 /// at the receiver.
@@ -60,21 +59,21 @@ impl World {
 
     pub(crate) fn deliver(&self, dst: usize, src: usize, tag: u64, msg: Msg) {
         let mb = &self.mailboxes[dst];
-        let mut inner = mb.inner.lock();
+        let mut inner = mb.inner.lock().unwrap();
         inner.queues.entry((src, tag)).or_default().push_back(msg);
         mb.cv.notify_all();
     }
 
     pub(crate) fn take(&self, dst: usize, src: usize, tag: u64) -> Msg {
         let mb = &self.mailboxes[dst];
-        let mut inner = mb.inner.lock();
+        let mut inner = mb.inner.lock().unwrap();
         loop {
             if let Some(q) = inner.queues.get_mut(&(src, tag)) {
                 if let Some(m) = q.pop_front() {
                     return m;
                 }
             }
-            mb.cv.wait(&mut inner);
+            inner = mb.cv.wait(inner).unwrap();
         }
     }
 }

@@ -18,7 +18,11 @@ use std::sync::Arc;
 pub type Dt = Arc<Datatype>;
 
 /// A derived datatype: a recipe for a typemap of byte segments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` are structural, so a `Datatype` can key the content-addressed
+/// flatten cache ([`crate::flatten::flatten_shared`]): two independently
+/// constructed but identical type trees share one flattening.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Datatype {
     /// An elementary run of `0` or more bytes (e.g. 4 for an `MPI_INT`).
     Bytes(u64),

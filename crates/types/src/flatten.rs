@@ -136,6 +136,44 @@ pub fn flatten(dt: &Datatype) -> FlatType {
     FlatType::from_segs(segs, lb, (ub - lb).max(0) as u64)
 }
 
+/// Cap on cached flattenings per thread; reaching it clears the cache
+/// rather than evicting, keeping the common steady-state (a handful of
+/// types reused across many collective calls) cheap and the worst case
+/// bounded.
+const FLATTEN_CACHE_CAP: usize = 256;
+
+std::thread_local! {
+    static FLATTEN_CACHE: std::cell::RefCell<std::collections::HashMap<Datatype, std::sync::Arc<FlatType>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Content-addressed flatten cache: like [`flatten`], but memoized per
+/// thread and returning a shared `Arc<FlatType>` so repeated
+/// `set_view`/`write_all` calls with an equal `Datatype` reuse one
+/// flattening instead of re-walking the type tree and cloning segment
+/// vectors (ROMIO keeps a flattened-datatype cache for the same reason).
+///
+/// The cache is keyed by structural equality, so two independently built
+/// but identical trees hit. It is thread-local: simulated ranks run on
+/// their own threads, which keeps hit/miss behaviour — and therefore the
+/// virtual-time charges layered on top — deterministic per rank.
+///
+/// Returns the shared flattening and whether it was a cache hit.
+pub fn flatten_shared(dt: &Datatype) -> (std::sync::Arc<FlatType>, bool) {
+    FLATTEN_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(f) = cache.get(dt) {
+            return (std::sync::Arc::clone(f), true);
+        }
+        if cache.len() >= FLATTEN_CACHE_CAP {
+            cache.clear();
+        }
+        let f = std::sync::Arc::new(flatten(dt));
+        cache.insert(dt.clone(), std::sync::Arc::clone(&f));
+        (f, false)
+    })
+}
+
 /// Append the segments of `count` children tiled at `child_extent` from
 /// byte `base`, using a pre-flattened child.
 fn emit_block(child_flat: &FlatType, child_extent: u64, base: i64, count: u64, out: &mut Vec<Seg>) {
@@ -320,5 +358,32 @@ mod tests {
         ]);
         let f = flatten(&t);
         assert_eq!(f.size, t.size());
+    }
+
+    #[test]
+    fn shared_flatten_hits_on_equal_types() {
+        // Structurally equal but independently constructed trees share one
+        // flattening.
+        let a = Datatype::vector(907, 2, 5, Datatype::bytes(3));
+        let b = Datatype::vector(907, 2, 5, Datatype::bytes(3));
+        let (fa, _) = flatten_shared(&a);
+        let (fb, hit_b) = flatten_shared(&b);
+        assert!(hit_b, "equal type must hit the cache");
+        assert!(std::sync::Arc::ptr_eq(&fa, &fb), "hit must share the Arc");
+        assert_eq!(*fa, flatten(&a));
+        // A different type misses.
+        let c = Datatype::vector(907, 2, 6, Datatype::bytes(3));
+        let (fc, hit_c) = flatten_shared(&c);
+        assert!(!hit_c);
+        assert_eq!(*fc, flatten(&c));
+    }
+
+    #[test]
+    fn shared_flatten_cap_resets_not_breaks() {
+        for i in 0..(super::FLATTEN_CACHE_CAP as u64 + 50) {
+            let t = Datatype::contiguous(i + 1, Datatype::bytes(1));
+            let (f, _) = flatten_shared(&t);
+            assert_eq!(f.size, i + 1);
+        }
     }
 }

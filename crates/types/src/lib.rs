@@ -22,11 +22,11 @@ pub mod subarray;
 pub mod view;
 
 pub use datatype::{Datatype, Dt};
-pub use flatten::{flatten, FlatType, Seg};
+pub use flatten::{flatten, flatten_shared, FlatType, Seg};
 pub use subarray::{darray, subarray, Distribution};
 pub use view::{pack, unpack, FileView, MemLayout, Piece, ViewCursor, ViewError};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build + test, fully offline (no external crates).
+# Run from the repository root: sh scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --release --offline =="
+cargo test -q --release --offline
+
+echo "== tier-1 verification passed =="

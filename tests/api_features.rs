@@ -179,6 +179,9 @@ fn set_size_and_preallocate_are_collective() {
         rank.barrier();
         f.preallocate(256);
         assert_eq!(f.size(), 256);
+        // Keep the next collective's rank-0 truncate from racing the
+        // other ranks' size check above (real threads, shared metadata).
+        rank.barrier();
         f.set_size(32);
         assert_eq!(f.size(), 32);
         // Reads past the new EOF return zeros on every rank.

@@ -286,8 +286,10 @@ fn ablation_balanced_realms_beat_even_on_clustered_access() {
     // §7 future work: sparse clusters make the even AAR split imbalanced.
     // Each rank's data is one stripe-sized cluster near the file start;
     // a single straggler byte at 1 GiB stretches the AAR so the even
-    // split leaves all real data in aggregator 0's realm. Clusters are
-    // stripe-aligned so lock conflicts don't confound the comparison.
+    // split leaves all real data in aggregator 0's realm. Locking and
+    // client caching are off: the claim under test is aggregator load
+    // balance, and DLM revocation timing (±1.5 ms per event, wall-clock
+    // service order dependent) would otherwise drown the signal.
     let nprocs = 4;
     let cluster: u64 = 64 << 10; // = one stripe (custom small-stripe fs)
     let time_with = |assigner: Arc<dyn RealmAssigner>| {
@@ -295,6 +297,9 @@ fn ablation_balanced_realms_beat_even_on_clustered_access() {
             n_osts: 4,
             stripe_size: 64 << 10,
             page_size: 4096,
+            locking: false,
+            lock_expansion: false,
+            client_cache: false,
             ..PfsConfig::default()
         });
         let out = run(nprocs, CostModel::default(), move |rank| {

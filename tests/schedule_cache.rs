@@ -1,0 +1,279 @@
+//! Exchange-schedule & flatten cache tests: replayed schedules must move
+//! exactly the bytes a fresh derivation would move, the first call must
+//! charge exactly what the pre-cache engine charged, and repeat calls
+//! under persistent file realms must charge measurably less.
+
+use flexio::core::{Hints, MpiFile};
+use flexio::pfs::{Pfs, PfsConfig, PfsCostModel};
+use flexio::sim::{run, CostModel, Stats, XorShift64Star};
+use flexio::types::Datatype;
+use std::sync::Arc;
+
+const BLOCK: u64 = 64;
+
+fn test_pfs() -> Arc<Pfs> {
+    Pfs::new(PfsConfig {
+        n_osts: 4,
+        stripe_size: 1024,
+        page_size: 64,
+        locking: false,
+        lock_expansion: false,
+        client_cache: false,
+        cost: PfsCostModel::free(),
+    })
+}
+
+fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
+    let h = pfs.open(path, usize::MAX - 1);
+    let mut out = vec![0u8; h.size() as usize];
+    h.read(0, 0, &mut out);
+    out
+}
+
+/// Per-step payload: deterministic pseudo-random bytes keyed by
+/// (rank, step), so every call moves different data through the same
+/// (cacheable) access pattern.
+fn step_data(rank: usize, step: u64, len: usize) -> Vec<u8> {
+    let mut rng = XorShift64Star::new((rank as u64) << 32 | (step + 1));
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Checkpoint-overwrite workload: one interleaved view set once, then
+/// `steps` collective writes of fresh data to the same region — the
+/// steady-state pattern the schedule cache is built for. Returns each
+/// rank's per-call cumulative [`Stats`] snapshots (one *before* the first
+/// call, then one after each call).
+fn checkpoint_write(
+    pfs: &Arc<Pfs>,
+    path: &str,
+    nprocs: usize,
+    blocks: u64,
+    steps: u64,
+    hints: Hints,
+) -> Vec<Vec<Stats>> {
+    let pfs = Arc::clone(pfs);
+    let path = path.to_string();
+    run(nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &pfs, &path, hints.clone()).unwrap();
+        let block = Datatype::bytes(BLOCK);
+        let ftype = Datatype::resized(0, nprocs as u64 * BLOCK, block);
+        f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &ftype).unwrap();
+        let len = (blocks * BLOCK) as usize;
+        let mut snaps = vec![rank.stats()];
+        for s in 0..steps {
+            let data = step_data(rank.rank(), s, len);
+            f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
+            snaps.push(rank.stats());
+        }
+        f.close();
+        snaps
+    })
+}
+
+fn pairs_per_call(snaps: &[Stats]) -> Vec<u64> {
+    snaps.windows(2).map(|w| w[1].pairs_processed - w[0].pairs_processed).collect()
+}
+
+#[test]
+fn cached_replay_byte_identical_to_uncached() {
+    // Same data sequence through cache-on and cache-off engines: the final
+    // file images must match byte for byte (calls 2..N replay the cached
+    // schedule against fresh user buffers).
+    let (nprocs, blocks, steps) = (8, 24, 6);
+    let image = |cache: bool| {
+        let pfs = test_pfs();
+        let hints = Hints { schedule_cache: cache, ..Hints::default() };
+        checkpoint_write(&pfs, "ckpt", nprocs, blocks, steps, hints);
+        read_file(&pfs, "ckpt")
+    };
+    let cached = image(true);
+    let uncached = image(false);
+    assert_eq!(cached.len(), uncached.len());
+    assert_eq!(cached, uncached, "cached replay changed the bytes on disk");
+    // And both must hold the *last* step's stamps in the right slots.
+    for r in 0..nprocs {
+        let want = step_data(r, steps - 1, (blocks * BLOCK) as usize);
+        for b in 0..blocks {
+            let off = (b * nprocs as u64 * BLOCK + r as u64 * BLOCK) as usize;
+            let src = (b * BLOCK) as usize;
+            assert_eq!(
+                &cached[off..off + BLOCK as usize],
+                &want[src..src + BLOCK as usize],
+                "rank {r} block {b} corrupted"
+            );
+        }
+    }
+}
+
+#[test]
+fn first_call_pairs_match_cache_off() {
+    // Call 1 is always a miss: it must charge exactly what the pre-cache
+    // engine charges, on every rank (the probe is only paid on hits).
+    let (nprocs, blocks) = (8, 16);
+    let stats_for = |cache: bool| {
+        let pfs = test_pfs();
+        let hints = Hints {
+            schedule_cache: cache,
+            persistent_file_realms: true,
+            cb_nodes: Some(4),
+            ..Hints::default()
+        };
+        checkpoint_write(&pfs, "one", nprocs, blocks, 1, hints)
+    };
+    let on = stats_for(true);
+    let off = stats_for(false);
+    for r in 0..nprocs {
+        assert_eq!(
+            pairs_per_call(&on[r]),
+            pairs_per_call(&off[r]),
+            "rank {r}: first-call pair charges differ with the cache armed"
+        );
+        let last = on[r].last().unwrap();
+        assert_eq!(last.schedule_cache_hits, 0, "single call cannot hit");
+        assert_eq!(last.schedule_cache_misses, 1);
+        let last_off = off[r].last().unwrap();
+        assert_eq!(last_off.schedule_cache_hits + last_off.schedule_cache_misses, 0);
+    }
+}
+
+#[test]
+fn later_calls_charge_fewer_pairs_under_pfr() {
+    // The tentpole claim: with persistent file realms and a fixed view,
+    // calls 2..N skip the whole stream re-derivation and charge only the
+    // metadata exchange plus one probe pair.
+    let (nprocs, blocks, steps) = (8, 24, 5);
+    let pfs = test_pfs();
+    let hints = Hints {
+        persistent_file_realms: true,
+        cb_nodes: Some(4),
+        ..Hints::default()
+    };
+    let snaps = checkpoint_write(&pfs, "pfr", nprocs, blocks, steps, hints);
+    for r in 0..nprocs {
+        let per_call = pairs_per_call(&snaps[r]);
+        assert_eq!(per_call.len(), steps as usize);
+        for (i, &p) in per_call.iter().enumerate().skip(1) {
+            assert!(
+                p < per_call[0],
+                "rank {r} call {}: {p} pairs, not below first-call {}",
+                i + 1,
+                per_call[0]
+            );
+        }
+        let last = snaps[r].last().unwrap();
+        assert_eq!(last.schedule_cache_misses, 1, "rank {r}: only call 1 derives");
+        assert_eq!(last.schedule_cache_hits, steps - 1, "rank {r}: calls 2..N must hit");
+    }
+}
+
+#[test]
+fn view_change_invalidates_schedule() {
+    // set_view drops the cached schedule: a shifted view must re-derive
+    // (miss), not replay stale windows.
+    let nprocs = 4;
+    let pfs = test_pfs();
+    let stats = run(nprocs, CostModel::default(), move |rank| {
+        let f_hints = Hints { persistent_file_realms: true, ..Hints::default() };
+        let mut f = MpiFile::open(rank, &pfs, "mv", f_hints).unwrap();
+        let block = Datatype::bytes(BLOCK);
+        let ftype = Datatype::resized(0, nprocs as u64 * BLOCK, block);
+        let data = step_data(rank.rank(), 0, (4 * BLOCK) as usize);
+        for step in 0..2u64 {
+            let disp = step * nprocs as u64 * 4 * BLOCK + rank.rank() as u64 * BLOCK;
+            f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+            f.write_all(&data, &Datatype::bytes(data.len() as u64), 1).unwrap();
+        }
+        f.close();
+        rank.stats()
+    });
+    for s in &stats {
+        assert_eq!(s.schedule_cache_hits, 0, "shifted view must not hit");
+        assert_eq!(s.schedule_cache_misses, 2);
+    }
+}
+
+#[test]
+fn read_replay_returns_correct_bytes() {
+    // The schedule is direction-agnostic: a read with the same view and
+    // extent replays the schedule derived by the write, and repeated reads
+    // hit again. Every replay must scatter the right bytes.
+    let (nprocs, blocks) = (8, 16);
+    let pfs = test_pfs();
+    let hints = Hints { persistent_file_realms: true, cb_nodes: Some(4), ..Hints::default() };
+    let stats = {
+        let pfs = Arc::clone(&pfs);
+        run(nprocs, CostModel::default(), move |rank| {
+            let mut f = MpiFile::open(rank, &pfs, "rd", hints.clone()).unwrap();
+            let block = Datatype::bytes(BLOCK);
+            let ftype = Datatype::resized(0, nprocs as u64 * BLOCK, block);
+            f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &ftype).unwrap();
+            let want = step_data(rank.rank(), 0, (blocks * BLOCK) as usize);
+            f.write_all(&want, &Datatype::bytes(want.len() as u64), 1).unwrap();
+            for _ in 0..2 {
+                let mut got = vec![0u8; want.len()];
+                f.read_all(&mut got, &Datatype::bytes(want.len() as u64), 1).unwrap();
+                assert_eq!(got, want, "rank {} read back wrong bytes", rank.rank());
+            }
+            f.close();
+            rank.stats()
+        })
+    };
+    for s in &stats {
+        assert_eq!(s.schedule_cache_misses, 1, "only the write derives");
+        assert_eq!(s.schedule_cache_hits, 2, "both reads replay the schedule");
+    }
+}
+
+#[test]
+fn repeated_set_view_hits_flatten_cache() {
+    // Equal filetypes flatten once per rank: the second set_view of a
+    // structurally equal type shares the Arc'd FlatType and charges a
+    // single probe pair instead of D.
+    let nprocs = 4;
+    let pfs = test_pfs();
+    let stats = run(nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &pfs, "fl", Hints::default()).unwrap();
+        let mk = || {
+            Datatype::resized(0, nprocs as u64 * BLOCK, Datatype::bytes(BLOCK))
+        };
+        f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &mk()).unwrap();
+        let before = rank.stats();
+        // A *new* but structurally equal Datatype value: content hit.
+        f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &mk()).unwrap();
+        let after = rank.stats();
+        f.close();
+        (before, after)
+    });
+    for (before, after) in &stats {
+        assert!(after.flatten_cache_hits > before.flatten_cache_hits, "second view must hit");
+        assert_eq!(
+            after.pairs_processed - before.pairs_processed,
+            1,
+            "a flatten hit charges one probe pair"
+        );
+    }
+}
+
+#[test]
+fn cache_disabled_never_counts() {
+    // `flexio_schedule_cache disable` reproduces the pre-cache engine:
+    // no probes, no counters, same bytes (covered above), and every call
+    // charges the full derivation.
+    let (nprocs, blocks, steps) = (4, 8, 3);
+    let pfs = test_pfs();
+    let hints = Hints {
+        schedule_cache: false,
+        persistent_file_realms: true,
+        ..Hints::default()
+    };
+    let snaps = checkpoint_write(&pfs, "off", nprocs, blocks, steps, hints);
+    for r in 0..nprocs {
+        let per_call = pairs_per_call(&snaps[r]);
+        // Under PFR with a fixed view every call does identical work.
+        assert!(per_call.windows(2).all(|w| w[0] == w[1]), "rank {r}: {per_call:?}");
+        let last = snaps[r].last().unwrap();
+        assert_eq!(last.schedule_cache_hits + last.schedule_cache_misses, 0);
+    }
+}
