@@ -56,6 +56,7 @@ fn main() {
     let scale = Scale::from_args();
     let cluster: u64 = if scale.paper { 2 << 20 } else { 256 << 10 };
     println!("# Ablation A3 — realm assignment on sparse clustered access (§7)");
+    println!("# {}", scale.describe());
     println!("# columns: nprocs,assigner,mbps");
     for nprocs in [4usize, 8, 16] {
         let straggler = cluster * nprocs as u64 * 64; // sparse tail

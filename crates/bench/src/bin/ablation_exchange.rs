@@ -16,6 +16,7 @@ fn main() {
     let scale = Scale::from_args();
     let nprocs = if scale.paper { 64 } else { 16 };
     println!("# Ablation A2 — exchange mode (§5.4)");
+    println!("# {}", scale.describe());
     println!("# columns: pattern,aggs,mode,mbps");
     // Dense pattern: fine interleave, every client talks to every
     // aggregator. Sparse pattern: coarse blocks, each client's data lands

@@ -49,6 +49,7 @@ fn main() {
     ];
 
     println!("# Collective READ — HPIO non-contig mem & file, {nprocs} procs, {aggs} aggs");
+    println!("# {}", scale.describe());
     println!("# columns: region_size,method,mbps");
     let mut series: Vec<(String, Vec<f64>)> =
         methods.iter().map(|(n, _, _)| (n.to_string(), Vec::new())).collect();

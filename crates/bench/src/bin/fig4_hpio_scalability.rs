@@ -27,6 +27,7 @@ fn main() {
     ];
 
     println!("# Fig. 4 — HPIO: {nprocs} procs non-contig in memory and non-contig in file");
+    println!("# {}", scale.describe());
     println!("# columns: aggs,region_size_bytes,method,mbps");
     for &aggs in &agg_counts {
         let mut series: Vec<(String, Vec<f64>)> =

@@ -36,6 +36,7 @@ fn main() {
     ];
 
     println!("# Fig. 5 — conditional data sieving and naive I/O from within collective I/O");
+    println!("# {}", scale.describe());
     println!("# {nprocs} procs, {aggs} aggregators, file pre-sized to {file_bytes} bytes");
     println!("# columns: extent_bytes,region_size_bytes,percent,method,mbps");
     for (extent, region_sizes) in panels {

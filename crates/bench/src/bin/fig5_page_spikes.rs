@@ -16,6 +16,7 @@ fn main() {
     let extent = 64 << 10; // large extent: naive is the right method here
     let page = 4096u64;
     println!("# Fig. 5 page-alignment spikes — naive I/O, {nprocs} procs, {page} B pages");
+    println!("# {}", scale.describe());
     println!("# columns: region_size,mbps,rmw_page_reads");
     // Fine sweep around 1x and 2x the page size.
     let mut sizes: Vec<u64> = Vec::new();

@@ -64,6 +64,7 @@ fn main() {
     ];
 
     println!("# Fig. 7 — PFRs & file realm alignment (half of clients are aggregators)");
+    println!("# {}", scale.describe());
     println!("# columns: clients,combo,mbps");
     let mut series: Vec<(String, Vec<f64>)> =
         combos.iter().map(|(n, _, _)| (n.to_string(), Vec::new())).collect();

@@ -41,17 +41,32 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Read from `std::env::args`: `--paper` and `--best-of N`.
+    /// Read from `std::env::args`: `--paper` and `--repeat N` (with
+    /// `--best-of N` accepted as a synonym). Defaults to best-of-3 per
+    /// DESIGN.md.
     pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_list(&std::env::args().collect::<Vec<_>>())
+    }
+
+    fn from_arg_list(args: &[String]) -> Scale {
         let paper = args.iter().any(|a| a == "--paper");
         let best_of = args
             .iter()
-            .position(|a| a == "--best-of")
+            .position(|a| a == "--repeat" || a == "--best-of")
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(BEST_OF);
         Scale { paper, best_of }
+    }
+
+    /// The standard header line every figure binary prints, recording the
+    /// exact scale and repetition count a results file was generated with.
+    pub fn describe(&self) -> String {
+        format!(
+            "scale: {} | best-of: {}",
+            if self.paper { "paper" } else { "default" },
+            self.best_of
+        )
     }
 }
 
@@ -126,5 +141,25 @@ mod tests {
     fn scale_defaults() {
         let s = Scale { paper: false, best_of: BEST_OF };
         assert_eq!(s.best_of, 3);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scale_parses_repeat_and_best_of() {
+        let s = Scale::from_arg_list(&args(&["bin"]));
+        assert!(!s.paper);
+        assert_eq!(s.best_of, BEST_OF);
+        let s = Scale::from_arg_list(&args(&["bin", "--paper", "--repeat", "7"]));
+        assert!(s.paper);
+        assert_eq!(s.best_of, 7);
+        let s = Scale::from_arg_list(&args(&["bin", "--best-of", "1"]));
+        assert_eq!(s.best_of, 1);
+        // Malformed counts fall back to the default rather than panicking.
+        let s = Scale::from_arg_list(&args(&["bin", "--repeat", "lots"]));
+        assert_eq!(s.best_of, BEST_OF);
+        assert_eq!(s.describe(), "scale: default | best-of: 3");
     }
 }

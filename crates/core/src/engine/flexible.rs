@@ -18,15 +18,15 @@
 //! * **Exchange flavour** (§5.4): sparse non-blocking, or a dense
 //!   alltoallw-style collective that skips pack/unpack copies.
 
-use crate::engine::common::{group_by_window, merge_pieces, ClientStream, Piece};
+use crate::engine::common::{group_by_window, merge_pieces, ClientStream, Piece, PlanEntry};
 use crate::engine::schedule::{self, schedule_key, CycleSchedule, ExchangeSchedule};
 use crate::error::Result;
 use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
 use crate::meta::ClientAccess;
 use crate::realm::{AssignCtx, EvenAar, FileRealm, PersistentBlockCyclic, RealmAssigner};
-use flexio_io::{read_packed, resolve, write_packed, Resolved};
+use flexio_io::{read_packed_nb, resolve, write_packed_nb, Resolved};
 use flexio_pfs::FileHandle;
-use flexio_sim::{Phase, Rank};
+use flexio_sim::{OverlapWindow, Phase, Rank};
 use flexio_types::MemLayout;
 
 /// Direction + user buffer for one collective call.
@@ -53,6 +53,7 @@ impl DataBuf<'_> {
 /// skipped and the cached schedule is replayed against the fresh user
 /// buffer, charging only [`schedule::PROBE_PAIRS`]. A first (miss) call
 /// charges exactly what the pre-cache engine charged.
+#[allow(clippy::too_many_arguments)] // one call site (MpiFile::run_engine)
 pub fn run(
     rank: &Rank,
     handle: &FileHandle,
@@ -98,21 +99,10 @@ pub fn run(
     if !hit {
         rank.charge_pairs(sched.parse_pairs);
     }
-    for cyc in &sched.cycles {
-        if !hit {
-            rank.charge_pairs(cyc.pairs);
-        }
-        if is_write {
-            cycle_write(
-                rank, handle, my, mem, &buf, hints, &sched.agg_ranks, &cyc.my_pieces,
-                &cyc.agg_pieces, &cyc.my_window,
-            );
-        } else {
-            cycle_read(
-                rank, handle, my, mem, &mut buf, hints, &sched.agg_ranks, &cyc.my_pieces,
-                &cyc.agg_pieces, &cyc.my_window,
-            );
-        }
+    if is_write {
+        run_write(rank, handle, my, mem, &buf, hints, sched, hit);
+    } else {
+        run_read(rank, handle, my, mem, &mut buf, hints, sched, hit);
     }
 
     if hints.schedule_cache {
@@ -290,11 +280,21 @@ fn group_period(group: &[(u64, u64)]) -> u64 {
     }
 }
 
-/// Move data for one write cycle and commit the collective buffer.
+/// One write cycle's assembled collective buffer, ready for the file.
+struct WriteStage {
+    /// Sorted, merged file segments of this aggregator's window slice.
+    segs: Vec<(u64, u64)>,
+    /// The segments' bytes, concatenated in file order.
+    packed: Vec<u8>,
+}
+
+/// Exchange half of a write cycle: clients send their pieces, aggregators
+/// assemble the collective buffer in file order. Pure data movement — the
+/// file is not touched, so the pipelined driver can run this while the
+/// previous cycle's I/O is still in flight.
 #[allow(clippy::too_many_arguments)]
-fn cycle_write(
+fn exchange_write(
     rank: &Rank,
-    handle: &FileHandle,
     my: &ClientAccess,
     mem: &MemLayout,
     buf: &DataBuf<'_>,
@@ -302,8 +302,7 @@ fn cycle_write(
     agg_ranks: &[usize],
     my_pieces: &[Vec<Piece>],
     agg_pieces: &[(usize, Vec<Piece>)],
-    window: &[(u64, u64)],
-) {
+) -> Option<WriteStage> {
     let user = match buf {
         DataBuf::Write(b) => *b,
         DataBuf::Read(_) => unreachable!(),
@@ -331,7 +330,7 @@ fn cycle_write(
         }
     };
     if agg_pieces.iter().all(|(_, p)| p.is_empty()) {
-        return; // nothing owned this cycle (or not an aggregator)
+        return None; // nothing owned this cycle (or not an aggregator)
     }
 
     // Assemble the collective buffer in file order.
@@ -353,12 +352,26 @@ fn cycle_write(
     if matches!(hints.exchange, ExchangeMode::Nonblocking) {
         rank.charge_memcpy(total); // assembly into the collective buffer
     }
+    Some(WriteStage { segs, packed })
+}
+
+/// Issue half of a write cycle: commit the assembled collective buffer to
+/// the file with nonblocking requests. Returns the virtual window
+/// `(issued_at, done_at)` the I/O occupies; the caller decides whether to
+/// block on it (serial engine) or overlap it (pipelined engine).
+fn issue_write(
+    rank: &Rank,
+    handle: &FileHandle,
+    hints: &Hints,
+    window: &[(u64, u64)],
+    stage: &WriteStage,
+) -> (u64, u64) {
     // One buffer-to-file request per realm chunk: sieving must never span
     // a realm boundary (the gap would belong to another aggregator).
     let t0 = rank.now();
     let mut t = t0;
     let mut pos = 0usize;
-    for (wi, group) in group_by_window(&segs, window) {
+    for (wi, group) in group_by_window(&stage.segs, window) {
         let glen: u64 = group.iter().map(|(_, l)| l).sum();
         let period = group_period(&group);
         // Lock the whole realm chunk (as ROMIO locks the sieve extent).
@@ -370,73 +383,147 @@ fn cycle_write(
         if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
             rank.charge_memcpy(glen);
         }
-        t = write_packed(
+        t = write_packed_nb(
             handle,
             t,
             &group,
-            &packed[pos..pos + glen as usize],
+            &stage.packed[pos..pos + glen as usize],
             &hints.io_method,
             period,
-        );
+        )
+        .done_at();
         pos += glen as usize;
     }
-    rank.advance_to(t);
-    rank.note_phase(Phase::Io, t.saturating_sub(t0));
+    (t0, t)
 }
 
-/// Move data for one read cycle: aggregators read and distribute.
+/// Drive the write cycles. With `double_buffer` the loop is software-
+/// pipelined two deep: the exchange for cycle *i+1* proceeds (into the
+/// second collective buffer) while cycle *i*'s file I/O is still in
+/// flight, and only then is the previous I/O waited on — charging
+/// `max(io, exchange)` instead of their sum. Cycle 0's exchange is the
+/// fill prologue, the last wait the drain epilogue. Without
+/// `double_buffer` every cycle issues and immediately waits, which is
+/// charge-for-charge the serial engine.
 #[allow(clippy::too_many_arguments)]
-fn cycle_read(
+fn run_write(
     rank: &Rank,
     handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    buf: &DataBuf<'_>,
+    hints: &Hints,
+    sched: &ExchangeSchedule,
+    hit: bool,
+) {
+    let mut inflight: Option<OverlapWindow> = None;
+    for cyc in &sched.cycles {
+        if !hit {
+            rank.charge_pairs(cyc.pairs);
+        }
+        let stage = exchange_write(
+            rank, my, mem, buf, hints, &sched.agg_ranks, &cyc.my_pieces, &cyc.agg_pieces,
+        );
+        // Both collective buffers are full once the next exchange has run:
+        // drain the in-flight I/O before reusing its buffer.
+        if let Some(w) = inflight.take() {
+            rank.overlap_complete(w);
+        }
+        if let Some(stage) = stage {
+            let (t0, t) = issue_write(rank, handle, hints, &cyc.my_window, &stage);
+            if hints.double_buffer {
+                inflight = Some(rank.overlap_begin(t, Phase::Io));
+            } else {
+                rank.advance_to(t);
+                rank.note_phase(Phase::Io, t.saturating_sub(t0));
+            }
+        }
+    }
+    if let Some(w) = inflight {
+        rank.overlap_complete(w);
+    }
+}
+
+/// One read cycle's collective buffer, read from the file and awaiting
+/// distribution to the clients.
+struct ReadStage {
+    /// Merged plan entries `(file_off, client, piece_idx, len)` in file
+    /// order — the slicing map from the packed buffer to per-client sends.
+    entries: Vec<PlanEntry>,
+    /// The window's bytes, concatenated in file order.
+    packed: Vec<u8>,
+}
+
+/// Issue half of a read cycle: an aggregator with data this cycle reads
+/// its window slice into a collective buffer with nonblocking requests.
+/// Returns the I/O's virtual window `(issued_at, done_at)` and the filled
+/// stage; `None` for pure clients and idle cycles.
+fn issue_read(
+    rank: &Rank,
+    handle: &FileHandle,
+    hints: &Hints,
+    window: &[(u64, u64)],
+    agg_pieces: &[(usize, Vec<Piece>)],
+) -> Option<(u64, u64, ReadStage)> {
+    if agg_pieces.iter().all(|(_, p)| p.is_empty()) {
+        return None;
+    }
+    let nonempty: Vec<(usize, Vec<Piece>)> =
+        agg_pieces.iter().filter(|(_, p)| !p.is_empty()).cloned().collect();
+    let (entries, segs) = merge_pieces(&nonempty);
+    let total: u64 = entries.iter().map(|e| e.3).sum();
+    let mut packed = vec![0u8; total as usize];
+    let t0 = rank.now();
+    let mut t = t0;
+    let mut pos = 0usize;
+    for (wi, group) in group_by_window(&segs, window) {
+        let glen: u64 = group.iter().map(|(_, l)| l).sum();
+        let period = group_period(&group);
+        t = handle.lock_range(t, window[wi].0, window[wi].1);
+        if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
+            rank.charge_memcpy(glen); // sieve buffer -> collective buffer
+        }
+        t = read_packed_nb(
+            handle,
+            t,
+            &group,
+            &mut packed[pos..pos + glen as usize],
+            &hints.io_method,
+            period,
+        )
+        .done_at();
+        pos += glen as usize;
+    }
+    Some((t0, t, ReadStage { entries, packed }))
+}
+
+/// Distribute half of a read cycle: the aggregator slices its collective
+/// buffer per client, everyone exchanges, clients scatter into the user
+/// buffer. Every rank must call this every cycle (collective exchange)
+/// whether or not it holds a stage.
+#[allow(clippy::too_many_arguments)]
+fn distribute_read(
+    rank: &Rank,
     my: &ClientAccess,
     mem: &MemLayout,
     buf: &mut DataBuf<'_>,
     hints: &Hints,
     agg_ranks: &[usize],
     my_pieces: &[Vec<Piece>],
-    agg_pieces: &[(usize, Vec<Piece>)],
-    window: &[(u64, u64)],
+    stage: Option<ReadStage>,
 ) {
-    // Aggregator: read my window's data and split it per client.
+    // Slice the packed buffer back out per client, in entry order
+    // (within a client, entry order == the client's own piece order).
     let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
-    if agg_pieces.iter().any(|(_, p)| !p.is_empty()) {
-        let nonempty: Vec<(usize, Vec<Piece>)> =
-            agg_pieces.iter().filter(|(_, p)| !p.is_empty()).cloned().collect();
-        let (entries, segs) = merge_pieces(&nonempty);
-        let total: u64 = entries.iter().map(|e| e.3).sum();
-        let mut packed = vec![0u8; total as usize];
-        let t0 = rank.now();
-        let mut t = t0;
-        let mut pos = 0usize;
-        for (wi, group) in group_by_window(&segs, window) {
-            let glen: u64 = group.iter().map(|(_, l)| l).sum();
-            let period = group_period(&group);
-            t = handle.lock_range(t, window[wi].0, window[wi].1);
-            if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
-                rank.charge_memcpy(glen); // sieve buffer -> collective buffer
-            }
-            t = read_packed(
-                handle,
-                t,
-                &group,
-                &mut packed[pos..pos + glen as usize],
-                &hints.io_method,
-                period,
-            );
-            pos += glen as usize;
-        }
-        rank.advance_to(t);
-        rank.note_phase(Phase::Io, t.saturating_sub(t0));
-        // Slice the packed buffer back out per client, in entry order
-        // (within a client, entry order == the client's own piece order).
+    if let Some(stage) = stage {
+        let total: u64 = stage.entries.iter().map(|e| e.3).sum();
         let mut per_client: std::collections::HashMap<usize, Vec<u8>> = Default::default();
         let mut pos = 0usize;
-        for &(_off, client, _piece, len) in &entries {
+        for &(_off, client, _piece, len) in &stage.entries {
             per_client
                 .entry(client)
                 .or_default()
-                .extend_from_slice(&packed[pos..pos + len as usize]);
+                .extend_from_slice(&stage.packed[pos..pos + len as usize]);
             pos += len as usize;
         }
         if matches!(hints.exchange, ExchangeMode::Nonblocking) {
@@ -488,4 +575,66 @@ fn cycle_read(
             rank.charge_memcpy(total); // unpack into user memory
         }
     }
+}
+
+/// Drive the read cycles. With `double_buffer` the loop is pipelined two
+/// deep in the opposite direction from writes: cycle *i+1*'s file read is
+/// issued (into the second collective buffer) before cycle *i*'s data is
+/// distributed, so the next read's latency hides behind the current
+/// exchange/scatter. Cycle 0's read is waited on immediately (fill
+/// prologue — there is nothing to overlap it with). Without
+/// `double_buffer` each cycle reads, waits, and distributes serially,
+/// matching the serial engine charge for charge.
+#[allow(clippy::too_many_arguments)]
+fn run_read(
+    rank: &Rank,
+    handle: &FileHandle,
+    my: &ClientAccess,
+    mem: &MemLayout,
+    buf: &mut DataBuf<'_>,
+    hints: &Hints,
+    sched: &ExchangeSchedule,
+    hit: bool,
+) {
+    let n = sched.cycles.len();
+    // The in-flight read: its overlap window (None once waited on) and its
+    // stage, for ranks that aggregate that cycle.
+    let mut inflight: Option<(Option<OverlapWindow>, ReadStage)> = None;
+    for i in 0..n {
+        if !hit {
+            rank.charge_pairs(sched.cycles[i].pairs);
+        }
+        if inflight.is_none() {
+            // Fill (or serial path): issue this cycle's read and block on it.
+            if let Some((t0, t, stage)) =
+                issue_read(rank, handle, hints, &sched.cycles[i].my_window, &sched.cycles[i].agg_pieces)
+            {
+                rank.advance_to(t);
+                rank.note_phase(Phase::Io, t.saturating_sub(t0));
+                inflight = Some((None, stage));
+            }
+        } else if let Some((w, _)) = &mut inflight {
+            // Steady state: the read was issued last cycle; its window has
+            // been overlapping that cycle's distribution. Drain it now.
+            if let Some(w) = w.take() {
+                rank.overlap_complete(w);
+            }
+        }
+        let stage = inflight.take().map(|(_, s)| s);
+        if hints.double_buffer && i + 1 < n {
+            // Issue the next cycle's read before distributing this one: it
+            // proceeds into the second buffer while the exchange runs.
+            if let Some((_t0, t, next)) = issue_read(
+                rank,
+                handle,
+                hints,
+                &sched.cycles[i + 1].my_window,
+                &sched.cycles[i + 1].agg_pieces,
+            ) {
+                inflight = Some((Some(rank.overlap_begin(t, Phase::Io)), next));
+            }
+        }
+        distribute_read(rank, my, mem, buf, hints, &sched.agg_ranks, &sched.cycles[i].my_pieces, stage);
+    }
+    debug_assert!(inflight.is_none(), "a read stage was issued but never distributed");
 }

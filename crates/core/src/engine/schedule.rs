@@ -36,10 +36,10 @@ pub struct CycleSchedule {
     /// empty for pure clients.
     pub agg_pieces: Vec<(usize, Vec<Piece>)>,
     /// Offset/length pairs this cycle's derivation evaluated (window walk
-    /// + client/aggregator stream intersections). Charged at the top of
-    /// the cycle on a miss — the same point the pre-cache engine charged
-    /// them — so the virtual clock at every send and file request is
-    /// bit-identical to the uncached engine. Skipped entirely on a hit.
+    /// plus client/aggregator stream intersections). Charged at the top
+    /// of the cycle on a miss — the same point the pre-cache engine
+    /// charged them — so the virtual clock at every send and file request
+    /// is bit-identical to the uncached engine. Skipped entirely on a hit.
     pub pairs: u64,
 }
 

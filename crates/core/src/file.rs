@@ -51,7 +51,7 @@ pub struct MpiFile<'r> {
 impl<'r> MpiFile<'r> {
     /// Collectively open (creating if necessary) `path`.
     pub fn open(rank: &'r Rank, pfs: &Arc<Pfs>, path: &str, hints: Hints) -> Result<Self> {
-        hints.validate()?;
+        hints.validate_for(rank.nprocs())?;
         let handle = pfs.open(path, rank.rank());
         rank.barrier();
         Ok(MpiFile {
@@ -74,7 +74,7 @@ impl<'r> MpiFile<'r> {
     /// and data movement, so a schedule derived under the old hints must
     /// not be replayed under the new ones.
     pub fn set_hints(&mut self, hints: Hints) -> Result<()> {
-        hints.validate()?;
+        hints.validate_for(self.rank.nprocs())?;
         self.hints = hints;
         *self.sched_cache.borrow_mut() = None;
         Ok(())

@@ -56,6 +56,12 @@ pub struct Hints {
     /// under persistent file realms; off reproduces the pre-cache engine
     /// exactly (useful for ablations).
     pub schedule_cache: bool,
+    /// Software-pipeline the flexible engine's buffer cycles: two
+    /// collective buffers per aggregator, with the exchange for cycle
+    /// *i+1* overlapping the file I/O of cycle *i* (the original ROMIO
+    /// double-buffering the paper's §4 inherits). On by default; off
+    /// reproduces the strictly serial per-cycle engine charge for charge.
+    pub double_buffer: bool,
     /// Engine selection.
     pub engine: Engine,
     /// Custom file-realm assigner; overrides the built-in choice
@@ -74,6 +80,7 @@ impl Default for Hints {
             persistent_file_realms: false,
             exchange: ExchangeMode::default(),
             schedule_cache: true,
+            double_buffer: true,
             engine: Engine::default(),
             realm_assigner: None,
         }
@@ -90,6 +97,7 @@ impl std::fmt::Debug for Hints {
             .field("persistent_file_realms", &self.persistent_file_realms)
             .field("exchange", &self.exchange)
             .field("schedule_cache", &self.schedule_cache)
+            .field("double_buffer", &self.double_buffer)
             .field("engine", &self.engine)
             .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
             .finish()
@@ -107,8 +115,26 @@ impl Hints {
         if self.cb_buffer_size == 0 {
             return Err(crate::error::IoError::BadHints("cb_buffer_size must be nonzero"));
         }
+        if self.cb_nodes == Some(0) {
+            return Err(crate::error::IoError::BadHints("cb_nodes must be nonzero"));
+        }
         if self.fr_alignment == Some(0) {
             return Err(crate::error::IoError::BadHints("fr_alignment must be nonzero"));
+        }
+        Ok(())
+    }
+
+    /// Validate hint consistency against a concrete world size: everything
+    /// [`Hints::validate`] checks, plus bounds that only make sense once
+    /// `nprocs` is known. This is what `MpiFile::open`/`set_hints` use, so
+    /// an oversized `cb_nodes` is a proper error at the API boundary
+    /// instead of a silently clamped schedule.
+    pub fn validate_for(&self, nprocs: usize) -> crate::error::Result<()> {
+        self.validate()?;
+        if let Some(n) = self.cb_nodes {
+            if n > nprocs {
+                return Err(crate::error::IoError::BadHints("cb_nodes exceeds world size"));
+            }
         }
         Ok(())
     }
@@ -134,6 +160,8 @@ mod tests {
 
     #[test]
     fn cb_nodes_clamped() {
+        // aggregators() still clamps defensively even though validate_for
+        // rejects out-of-range cb_nodes at the API boundary.
         let h = Hints { cb_nodes: Some(100), ..Hints::default() };
         assert_eq!(h.aggregators(8), 8);
         let h = Hints { cb_nodes: Some(0), ..Hints::default() };
@@ -144,6 +172,16 @@ mod tests {
     fn bad_hints_rejected() {
         assert!(Hints { cb_buffer_size: 0, ..Hints::default() }.validate().is_err());
         assert!(Hints { fr_alignment: Some(0), ..Hints::default() }.validate().is_err());
+        assert!(Hints { cb_nodes: Some(0), ..Hints::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn validate_for_bounds_cb_nodes() {
+        let h = Hints { cb_nodes: Some(8), ..Hints::default() };
+        h.validate_for(8).unwrap();
+        assert!(h.validate_for(7).is_err());
+        assert!(Hints { cb_nodes: Some(0), ..Hints::default() }.validate_for(4).is_err());
+        Hints::default().validate_for(1).unwrap();
     }
 
     #[test]

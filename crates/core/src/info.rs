@@ -17,6 +17,7 @@
 //! | `flexio_engine` | `flexible` or `romio` |
 //! | `flexio_exchange` | `nonblocking` or `alltoallw` |
 //! | `flexio_schedule_cache` | `enable`/`disable` exchange-schedule caching (flexio extension, default enable) |
+//! | `flexio_double_buffer` | `enable`/`disable` pipelined buffer cycles (exchange/I-O overlap; flexio extension, default enable) |
 //!
 //! Unknown keys are ignored, as MPI requires.
 
@@ -100,6 +101,15 @@ pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
                     }
                 };
             }
+            "flexio_double_buffer" => {
+                h.double_buffer = match value {
+                    "enable" | "true" => true,
+                    "disable" | "false" => false,
+                    _ => {
+                        return Err(IoError::BadHints("flexio_double_buffer takes enable/disable"))
+                    }
+                };
+            }
             _ => {} // unknown hints are ignored per the MPI standard
         }
     }
@@ -178,6 +188,16 @@ mod tests {
         let h = hints_from_info(h, &[("flexio_schedule_cache", "enable")]).unwrap();
         assert!(h.schedule_cache);
         assert!(hints_from_info(Hints::default(), &[("flexio_schedule_cache", "maybe")]).is_err());
+    }
+
+    #[test]
+    fn double_buffer_switch() {
+        assert!(Hints::default().double_buffer);
+        let h = hints_from_info(Hints::default(), &[("flexio_double_buffer", "disable")]).unwrap();
+        assert!(!h.double_buffer);
+        let h = hints_from_info(h, &[("flexio_double_buffer", "enable")]).unwrap();
+        assert!(h.double_buffer);
+        assert!(hints_from_info(Hints::default(), &[("flexio_double_buffer", "maybe")]).is_err());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct Profile {
     pub msgs_total: u64,
     /// Total payload bytes sent across ranks.
     pub bytes_sent_total: u64,
+    /// Total virtual ns of in-flight I/O hidden behind exchange work
+    /// across ranks (pipelined engine only; zero for the serial engine).
+    pub overlap_saved_total_ns: u64,
 }
 
 impl Profile {
@@ -39,6 +42,7 @@ impl Profile {
             p.memcpy_total += s.memcpy_bytes;
             p.msgs_total += s.msgs_sent;
             p.bytes_sent_total += s.bytes_sent;
+            p.overlap_saved_total_ns += s.overlap_saved_ns;
         }
         p
     }
@@ -59,6 +63,7 @@ impl Profile {
                 schedule_cache_misses: a.schedule_cache_misses - b.schedule_cache_misses,
                 flatten_cache_hits: a.flatten_cache_hits - b.flatten_cache_hits,
                 flatten_cache_misses: a.flatten_cache_misses - b.flatten_cache_misses,
+                overlap_saved_ns: a.overlap_saved_ns - b.overlap_saved_ns,
                 phase_ns: [
                     a.phase_ns[0] - b.phase_ns[0],
                     a.phase_ns[1] - b.phase_ns[1],

@@ -96,6 +96,40 @@ fn check_segs(segs: &[(u64, u64)], packed_len: usize) {
     debug_assert!(segs.iter().all(|(_, l)| *l > 0), "zero-length segment");
 }
 
+/// A packed-stream I/O operation in flight: the issue/wait split of
+/// [`write_packed`]/[`read_packed`]. Like [`flexio_pfs::NbOp`], the data
+/// movement is already done when the completion is returned — only the
+/// op's virtual window is pending, so a caller can overlap it with other
+/// work and charge `max` instead of the sum.
+#[must_use = "an issued I/O must be waited on to charge its virtual time"]
+#[derive(Debug, Clone, Copy)]
+pub struct IoCompletion {
+    issued_at: u64,
+    done_at: u64,
+}
+
+impl IoCompletion {
+    /// Virtual time the operation was issued at.
+    pub fn issued_at(&self) -> u64 {
+        self.issued_at
+    }
+
+    /// Virtual time the operation completes at.
+    pub fn done_at(&self) -> u64 {
+        self.done_at
+    }
+
+    /// The operation's virtual duration.
+    pub fn duration(&self) -> u64 {
+        self.done_at.saturating_sub(self.issued_at)
+    }
+
+    /// Block until completion: the later of `now` and `done_at`.
+    pub fn wait(&self, now: u64) -> u64 {
+        now.max(self.done_at)
+    }
+}
+
 /// Write `packed` (segments concatenated in order) to the file segments
 /// using `method`. Returns the virtual completion time.
 pub fn write_packed(
@@ -106,23 +140,39 @@ pub fn write_packed(
     method: &IoMethod,
     pattern_extent: u64,
 ) -> u64 {
+    write_packed_nb(h, now, segs, packed, method, pattern_extent).done_at()
+}
+
+/// Issue half of [`write_packed`]: data is committed immediately, the
+/// returned completion carries the virtual window the write occupies.
+pub fn write_packed_nb(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    packed: &[u8],
+    method: &IoMethod,
+    pattern_extent: u64,
+) -> IoCompletion {
     if segs.is_empty() {
-        return now;
+        return IoCompletion { issued_at: now, done_at: now };
     }
     check_segs(segs, packed.len());
-    match resolve(method, segs, pattern_extent) {
-        Resolved::Contiguous => h.write(now, segs[0].0, packed),
+    let done_at = match resolve(method, segs, pattern_extent) {
+        Resolved::Contiguous => h.pwrite_nb(now, segs[0].0, packed).done_at(),
         Resolved::Naive => {
+            // List I/O requests depend on each other only through the
+            // handle's request stream; chain their completion times.
             let mut t = now;
             let mut pos = 0usize;
             for &(off, len) in segs {
-                t = h.write(t, off, &packed[pos..pos + len as usize]);
+                t = h.pwrite_nb(t, off, &packed[pos..pos + len as usize]).done_at();
                 pos += len as usize;
             }
             t
         }
         Resolved::DataSieve(buffer) => sieve_write(h, now, segs, packed, buffer),
-    }
+    };
+    IoCompletion { issued_at: now, done_at }
 }
 
 /// Read the file segments into `packed` using `method`. Returns the
@@ -135,23 +185,37 @@ pub fn read_packed(
     method: &IoMethod,
     pattern_extent: u64,
 ) -> u64 {
+    read_packed_nb(h, now, segs, packed, method, pattern_extent).done_at()
+}
+
+/// Issue half of [`read_packed`]: `packed` is filled immediately, the
+/// returned completion carries the virtual window the read occupies.
+pub fn read_packed_nb(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    packed: &mut [u8],
+    method: &IoMethod,
+    pattern_extent: u64,
+) -> IoCompletion {
     if segs.is_empty() {
-        return now;
+        return IoCompletion { issued_at: now, done_at: now };
     }
     check_segs(segs, packed.len());
-    match resolve(method, segs, pattern_extent) {
-        Resolved::Contiguous => h.read(now, segs[0].0, packed),
+    let done_at = match resolve(method, segs, pattern_extent) {
+        Resolved::Contiguous => h.pread_nb(now, segs[0].0, packed).done_at(),
         Resolved::Naive => {
             let mut t = now;
             let mut pos = 0usize;
             for &(off, len) in segs {
-                t = h.read(t, off, &mut packed[pos..pos + len as usize]);
+                t = h.pread_nb(t, off, &mut packed[pos..pos + len as usize]).done_at();
                 pos += len as usize;
             }
             t
         }
         Resolved::DataSieve(buffer) => sieve_read(h, now, segs, packed, buffer),
-    }
+    };
+    IoCompletion { issued_at: now, done_at }
 }
 
 /// Data-sieving write: for each sieve-buffer-sized chunk of the covering
@@ -489,6 +553,50 @@ mod tests {
                 assert_eq!(b, want, "round {round}: byte {i} clobbered");
             }
         }
+    }
+
+    #[test]
+    fn nb_split_matches_blocking() {
+        for method in [
+            IoMethod::Naive,
+            IoMethod::DataSieve { buffer: 48 },
+            IoMethod::default(),
+        ] {
+            let pfs_a = timed_pfs();
+            let pfs_b = timed_pfs();
+            let ha = pfs_a.open("f", 0);
+            let hb = pfs_b.open("f", 0);
+            let segs = strided_segs(11, 9, 6, 31);
+            let data = packed_for(&segs);
+            let t_blocking = write_packed(&ha, 700, &segs, &data, &method, 100);
+            let c = write_packed_nb(&hb, 700, &segs, &data, &method, 100);
+            assert_eq!(c.issued_at(), 700);
+            assert_eq!(c.done_at(), t_blocking, "method {method:?}");
+            assert_eq!(c.duration(), t_blocking - 700);
+            let mut out_a = vec![0u8; data.len()];
+            let mut out_b = vec![0u8; data.len()];
+            let r_blocking = read_packed(&ha, t_blocking, &segs, &mut out_a, &method, 100);
+            // The nb read sees the committed data without waiting on the
+            // write's completion handle first.
+            let r = read_packed_nb(&hb, t_blocking, &segs, &mut out_b, &method, 100);
+            assert_eq!(r.done_at(), r_blocking);
+            assert_eq!(out_b, data);
+            assert_eq!(out_a, out_b);
+            assert_eq!(readback(&pfs_b, &segs), data);
+            // wait() clamps in both directions.
+            assert_eq!(r.wait(0), r.done_at());
+            assert_eq!(r.wait(r.done_at() + 3), r.done_at() + 3);
+        }
+    }
+
+    #[test]
+    fn nb_empty_segments_noop() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        let c = write_packed_nb(&h, 5, &[], &[], &IoMethod::Naive, 0);
+        assert_eq!((c.issued_at(), c.done_at()), (5, 5));
+        let r = read_packed_nb(&h, 7, &[], &mut [], &IoMethod::Naive, 0);
+        assert_eq!((r.issued_at(), r.done_at()), (7, 7));
     }
 
     #[test]

@@ -272,6 +272,42 @@ impl Pfs {
     }
 }
 
+/// A nonblocking PFS operation in flight. The data movement has already
+/// happened (file contents are byte-exact the moment the op is issued —
+/// this is a virtual-time model, not a concurrency model); only the op's
+/// *time* is pending. The handle carries the virtual window the op
+/// occupies so callers can overlap it with other work and charge
+/// `max(windows)` instead of the sum.
+#[must_use = "a nonblocking op must be waited on to charge its virtual time"]
+#[derive(Debug, Clone, Copy)]
+pub struct NbOp {
+    issued_at: u64,
+    done_at: u64,
+}
+
+impl NbOp {
+    /// Virtual time the op was issued at.
+    pub fn issued_at(&self) -> u64 {
+        self.issued_at
+    }
+
+    /// Virtual time the op completes at.
+    pub fn done_at(&self) -> u64 {
+        self.done_at
+    }
+
+    /// The op's virtual duration.
+    pub fn duration(&self) -> u64 {
+        self.done_at.saturating_sub(self.issued_at)
+    }
+
+    /// Block until the op completes: the later of `now` and the op's
+    /// completion time.
+    pub fn wait(&self, now: u64) -> u64 {
+        now.max(self.done_at)
+    }
+}
+
 /// A per-client handle to an open file.
 pub struct FileHandle {
     pfs: Arc<Pfs>,
@@ -494,6 +530,35 @@ impl FileHandle {
             pos += sl as usize;
         }
         self.write_locked(t, off, &buf)
+    }
+
+    /// Nonblocking [`FileHandle::write`]: issues the write at `now` and
+    /// returns a completion handle instead of blocking the caller's clock
+    /// until `done_at`. Contents are stored immediately.
+    pub fn pwrite_nb(&self, now: u64, off: u64, data: &[u8]) -> NbOp {
+        NbOp { issued_at: now, done_at: self.write(now, off, data) }
+    }
+
+    /// Nonblocking [`FileHandle::read`]: issues the read at `now`; `buf`
+    /// is filled immediately, the returned handle carries the virtual
+    /// completion time.
+    pub fn pread_nb(&self, now: u64, off: u64, buf: &mut [u8]) -> NbOp {
+        NbOp { issued_at: now, done_at: self.read(now, off, buf) }
+    }
+
+    /// Nonblocking [`FileHandle::sieve_chunk_write`]: the whole
+    /// read-modify-write commits atomically at issue time; the handle
+    /// carries its virtual window.
+    pub fn sieve_chunk_write_nb(
+        &self,
+        now: u64,
+        off: u64,
+        len: u64,
+        segs: &[(u64, u64)],
+        packed: &[u8],
+        covered: bool,
+    ) -> NbOp {
+        NbOp { issued_at: now, done_at: self.sieve_chunk_write(now, off, len, segs, packed, covered) }
     }
 
     /// Truncate or extend the file to exactly `size` bytes. Shrinking
@@ -743,6 +808,54 @@ mod tests {
             client_cache: cache,
             cost: PfsCostModel::default(),
         }
+    }
+
+    #[test]
+    fn nb_ops_carry_blocking_window() {
+        let pfs = Pfs::new(PfsConfig {
+            cost: PfsCostModel::default(),
+            ..PfsConfig::test_tiny()
+        });
+        let h = pfs.open("f", 0);
+        let op = h.pwrite_nb(1000, 0, &[7u8; 64]);
+        assert_eq!(op.issued_at(), 1000);
+        assert!(op.done_at() > 1000);
+        assert_eq!(op.duration(), op.done_at() - 1000);
+        // Data is visible before the op is waited on.
+        let mut buf = [0u8; 64];
+        let r = h.pread_nb(op.done_at(), 0, &mut buf);
+        assert_eq!(buf, [7u8; 64]);
+        // wait() is max(now, done_at) in both directions.
+        assert_eq!(r.wait(0), r.done_at());
+        assert_eq!(r.wait(r.done_at() + 5), r.done_at() + 5);
+    }
+
+    #[test]
+    fn nb_matches_blocking_times() {
+        // Same op sequence on two identically-configured file systems: the
+        // nonblocking variants must report the exact completion times the
+        // blocking calls return.
+        let mk = || {
+            Pfs::new(PfsConfig {
+                cost: PfsCostModel::default(),
+                ..PfsConfig::test_tiny()
+            })
+        };
+        let (pa, pb) = (mk(), mk());
+        let (a, b) = (pa.open("f", 0), pb.open("f", 0));
+        let t1 = a.write(500, 3, &[1u8; 100]);
+        let o1 = b.pwrite_nb(500, 3, &[1u8; 100]);
+        assert_eq!(t1, o1.done_at());
+        let mut ba = [0u8; 100];
+        let mut bb = [0u8; 100];
+        let t2 = a.read(t1, 3, &mut ba);
+        let o2 = b.pread_nb(o1.done_at(), 3, &mut bb);
+        assert_eq!(t2, o2.done_at());
+        assert_eq!(ba, bb);
+        let segs = [(8u64, 16u64)];
+        let t3 = a.sieve_chunk_write(t2, 0, 64, &segs, &[9u8; 16], false);
+        let o3 = b.sieve_chunk_write_nb(o2.done_at(), 0, 64, &segs, &[9u8; 16], false);
+        assert_eq!(t3, o3.done_at());
     }
 
     #[test]

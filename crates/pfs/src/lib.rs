@@ -33,7 +33,7 @@ pub mod lock;
 pub use cache::{ClientCache, DirtyRun};
 pub use config::{PfsConfig, PfsCostModel};
 pub use extent::ExtentSet;
-pub use fs::{FileHandle, FileObj, Pfs, PfsStats, StatsSnapshot};
+pub use fs::{FileHandle, FileObj, NbOp, Pfs, PfsStats, StatsSnapshot};
 pub use lock::{Acquire, LockTable};
 
 #[cfg(all(test, feature = "proptests"))]

@@ -29,7 +29,7 @@ pub mod world;
 
 pub use cost::CostModel;
 pub use prng::XorShift64Star;
-pub use rank::{Phase, Rank, RecvReq, Stats};
+pub use rank::{OverlapWindow, Phase, Rank, RecvReq, Stats};
 pub use world::{run, World};
 
 #[cfg(all(test, feature = "proptests"))]

@@ -49,6 +49,18 @@ pub struct Stats {
     pub flatten_cache_hits: u64,
     /// Flatten-cache misses.
     pub flatten_cache_misses: u64,
+    /// Virtual ns of in-flight operation time hidden behind other work
+    /// (overlapped windows completed via [`Rank::overlap_complete`]).
+    pub overlap_saved_ns: u64,
+}
+
+impl Stats {
+    /// [`Stats::overlap_saved_ns`] in microseconds — the virtual time the
+    /// engine's exchange/I-O pipelining saved versus running the same
+    /// operations back to back.
+    pub fn overlap_saved_us(&self) -> u64 {
+        self.overlap_saved_ns / 1_000
+    }
 }
 
 /// A handle to one simulated MPI rank.
@@ -65,6 +77,36 @@ pub struct Rank {
 pub struct RecvReq {
     src: usize,
     tag: u64,
+}
+
+/// An in-flight operation of known virtual completion time (e.g. a
+/// non-blocking file write) that runs without occupying this rank's CPU.
+/// Opened with [`Rank::overlap_begin`], harvested with
+/// [`Rank::overlap_complete`]: any clock advance between the two hides an
+/// equal amount of the operation's duration, so a begin/work/complete
+/// window charges `max(op, work)` instead of their sum.
+#[must_use = "an overlapped operation must be completed to charge its time"]
+pub struct OverlapWindow {
+    issued_at: u64,
+    done_at: u64,
+    phase: Phase,
+}
+
+impl OverlapWindow {
+    /// Virtual time the operation was issued at.
+    pub fn issued_at(&self) -> u64 {
+        self.issued_at
+    }
+
+    /// Virtual time the operation completes at.
+    pub fn done_at(&self) -> u64 {
+        self.done_at
+    }
+
+    /// The operation's full virtual duration.
+    pub fn duration(&self) -> u64 {
+        self.done_at.saturating_sub(self.issued_at)
+    }
 }
 
 impl Rank {
@@ -135,6 +177,34 @@ impl Rank {
         } else {
             s.schedule_cache_misses += 1;
         }
+    }
+
+    /// Open an overlapped window for an operation issued at the current
+    /// virtual time that will complete at `done_at` without occupying this
+    /// rank's CPU (a non-blocking file request already in the device
+    /// queue). The clock does not move; work performed before
+    /// [`Rank::overlap_complete`] runs concurrently with the operation.
+    pub fn overlap_begin(&self, done_at: u64, phase: Phase) -> OverlapWindow {
+        OverlapWindow { issued_at: self.now(), done_at, phase }
+    }
+
+    /// Complete an overlapped operation: advance the clock to its
+    /// completion time and attribute only the *un-hidden* remainder to the
+    /// window's phase — clock advances made since [`Rank::overlap_begin`]
+    /// (which carried their own attribution) hide an equal share of the
+    /// operation. The pair therefore charges `max(op, work)` rather than
+    /// `op + work`, while per-phase buckets still sum to elapsed time.
+    /// Returns the hidden ns, also accumulated in
+    /// [`Stats::overlap_saved_ns`].
+    pub fn overlap_complete(&self, w: OverlapWindow) -> u64 {
+        let duration = w.duration();
+        let remainder = w.done_at.saturating_sub(self.now());
+        self.advance_to(w.done_at);
+        let mut s = self.stats.borrow_mut();
+        s.phase_ns[w.phase as usize] += remainder;
+        let hidden = duration - remainder;
+        s.overlap_saved_ns += hidden;
+        hidden
     }
 
     /// Record a flatten-cache probe outcome.
@@ -718,6 +788,68 @@ mod tests {
         for (rank, blk) in out.iter().enumerate() {
             assert_eq!(blk, &vec![rank as u8 + 40; 3]);
         }
+    }
+
+    #[test]
+    fn overlap_charges_max_not_sum() {
+        // A 10 µs I/O overlapped with 4 µs of exchange must elapse 10 µs
+        // (max), not 14 µs (sum), and the buckets must still sum to the
+        // elapsed time: 4 µs Comm + 6 µs Io.
+        let out = run(1, CostModel::default(), |r| {
+            let t0 = r.now();
+            let io = r.overlap_begin(t0 + 10_000, Phase::Io);
+            r.advance(4_000);
+            r.note_phase(Phase::Comm, 4_000);
+            let hidden = r.overlap_complete(io);
+            (r.now() - t0, hidden, r.stats())
+        });
+        let (elapsed, hidden, s) = &out[0];
+        assert_eq!(*elapsed, 10_000, "overlap must charge the max window");
+        assert_eq!(*hidden, 4_000);
+        assert_eq!(s.overlap_saved_ns, 4_000);
+        assert_eq!(s.phase_ns[Phase::Io as usize], 6_000);
+        assert_eq!(s.phase_ns[Phase::Comm as usize], 4_000);
+        assert_eq!(
+            s.phase_ns.iter().sum::<u64>(),
+            *elapsed,
+            "trace buckets must sum to elapsed time"
+        );
+    }
+
+    #[test]
+    fn overlap_fully_hidden_op() {
+        // Work longer than the in-flight op: elapsed = work, the whole op
+        // duration is hidden, and zero ns land in the op's phase.
+        let out = run(1, CostModel::default(), |r| {
+            let io = r.overlap_begin(r.now() + 3_000, Phase::Io);
+            r.advance(9_000);
+            r.note_phase(Phase::Compute, 9_000);
+            let hidden = r.overlap_complete(io);
+            (r.now(), hidden, r.stats())
+        });
+        let (now, hidden, s) = &out[0];
+        assert_eq!(*now, 9_000);
+        assert_eq!(*hidden, 3_000);
+        assert_eq!(s.overlap_saved_ns, 3_000);
+        assert_eq!(s.phase_ns[Phase::Io as usize], 0);
+        assert_eq!(s.phase_ns.iter().sum::<u64>(), *now);
+    }
+
+    #[test]
+    fn overlap_immediate_complete_matches_blocking() {
+        // begin + complete with no interleaved work is exactly a blocking
+        // charge: full duration in the phase, nothing saved.
+        let out = run(1, CostModel::default(), |r| {
+            let io = r.overlap_begin(r.now() + 5_000, Phase::Io);
+            let hidden = r.overlap_complete(io);
+            (r.now(), hidden, r.stats())
+        });
+        let (now, hidden, s) = &out[0];
+        assert_eq!(*now, 5_000);
+        assert_eq!(*hidden, 0);
+        assert_eq!(s.overlap_saved_ns, 0);
+        assert_eq!(s.phase_ns[Phase::Io as usize], 5_000);
+        assert_eq!(s.overlap_saved_us(), 0);
     }
 
     #[test]

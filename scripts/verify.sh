@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
+echo "== cargo clippy --workspace --all-targets --offline -- -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo test -q --release --offline =="
 cargo test -q --release --offline
 

@@ -151,8 +151,8 @@ fn later_calls_charge_fewer_pairs_under_pfr() {
         ..Hints::default()
     };
     let snaps = checkpoint_write(&pfs, "pfr", nprocs, blocks, steps, hints);
-    for r in 0..nprocs {
-        let per_call = pairs_per_call(&snaps[r]);
+    for (r, snap) in snaps.iter().enumerate() {
+        let per_call = pairs_per_call(snap);
         assert_eq!(per_call.len(), steps as usize);
         for (i, &p) in per_call.iter().enumerate().skip(1) {
             assert!(
@@ -162,7 +162,7 @@ fn later_calls_charge_fewer_pairs_under_pfr() {
                 per_call[0]
             );
         }
-        let last = snaps[r].last().unwrap();
+        let last = snap.last().unwrap();
         assert_eq!(last.schedule_cache_misses, 1, "rank {r}: only call 1 derives");
         assert_eq!(last.schedule_cache_hits, steps - 1, "rank {r}: calls 2..N must hit");
     }
@@ -269,11 +269,11 @@ fn cache_disabled_never_counts() {
         ..Hints::default()
     };
     let snaps = checkpoint_write(&pfs, "off", nprocs, blocks, steps, hints);
-    for r in 0..nprocs {
-        let per_call = pairs_per_call(&snaps[r]);
+    for (r, snap) in snaps.iter().enumerate() {
+        let per_call = pairs_per_call(snap);
         // Under PFR with a fixed view every call does identical work.
         assert!(per_call.windows(2).all(|w| w[0] == w[1]), "rank {r}: {per_call:?}");
-        let last = snaps[r].last().unwrap();
+        let last = snap.last().unwrap();
         assert_eq!(last.schedule_cache_hits + last.schedule_cache_misses, 0);
     }
 }
