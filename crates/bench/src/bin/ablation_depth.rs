@@ -1,0 +1,149 @@
+//! Ablation A6 — pipeline depth (adaptive vs fixed).
+//!
+//! The flexible engine's buffer-cycle pipeline on the E1 HPIO write
+//! workload at depths 1 (serial), 2 (classic double buffering), 4, and
+//! auto (per-cycle adaptation from the measured I/O:exchange ratio).
+//! Reports the slowest rank's collective-write time, the I/O and
+//! derivation time hidden, the deepest pipeline any rank reached, and the
+//! PFS-side peak of outstanding nonblocking ops — and verifies every
+//! depth leaves a byte-identical file image.
+//!
+//! Paper scale (`--paper`): 64 procs, 4096 regions, aggregators {8, 32}.
+//! Default scale: 16 procs, 1024 regions, aggregators {4, 8}.
+
+use flexio_bench::{mbps, print_table, Scale};
+use flexio_core::{Hints, MpiFile, PipelineDepth};
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_pfs::{Pfs, PfsConfig};
+use flexio_sim::{run, CostModel};
+use flexio_types::Datatype;
+use std::sync::Arc;
+
+struct Sample {
+    ns: u64,
+    hidden: u64,
+    derive_hidden: u64,
+    depth_used: u64,
+    nb_peak: u64,
+    image: Vec<u8>,
+}
+
+/// One collective write at the given depth.
+fn run_once(spec: HpioSpec, hints: &Hints, path: &str) -> Sample {
+    let pfs = Pfs::new(PfsConfig::default());
+    let inner = Arc::clone(&pfs);
+    let path_owned = path.to_string();
+    let hints = hints.clone();
+    let out = run(spec.nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &inner, &path_owned, hints.clone()).unwrap();
+        let (disp, ftype) = spec.file_view(rank.rank(), TypeStyle::Succinct);
+        f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+        let buf = spec.make_buffer(rank.rank());
+        rank.barrier();
+        let t0 = rank.now();
+        f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
+        let elapsed = rank.now() - t0;
+        f.close();
+        let s = rank.stats();
+        (
+            rank.allreduce_max(elapsed),
+            s.overlap_saved_ns,
+            s.derive_overlap_saved_ns,
+            rank.allreduce_max(s.pipeline_depth_used),
+        )
+    });
+    let h = pfs.open(path, usize::MAX - 1);
+    let mut image = vec![0u8; h.size() as usize];
+    h.read(0, 0, &mut image);
+    Sample {
+        ns: out[0].0,
+        hidden: out.iter().map(|(_, h, _, _)| h).sum(),
+        derive_hidden: out.iter().map(|(_, _, d, _)| d).sum(),
+        depth_used: out[0].3,
+        nb_peak: pfs.stats().nb_inflight_peak,
+        image,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (nprocs, regions, agg_counts): (usize, u64, Vec<usize>) = if scale.paper {
+        (64, 4096, vec![8, 32])
+    } else {
+        (16, 1024, vec![4, 8])
+    };
+    let spec = HpioSpec {
+        region_size: 512,
+        region_count: regions,
+        region_spacing: 128,
+        mem_noncontig: true,
+        file_noncontig: true,
+        nprocs,
+    };
+    let depths: [(&str, PipelineDepth); 4] = [
+        ("depth-1", PipelineDepth::Fixed(1)),
+        ("depth-2", PipelineDepth::Fixed(2)),
+        ("depth-4", PipelineDepth::Fixed(4)),
+        ("auto", PipelineDepth::Auto),
+    ];
+
+    println!("# Ablation A6 — pipeline depth (adaptive vs fixed)");
+    println!("# {}", scale.describe());
+    println!("# E1 workload: {nprocs} procs, {regions} regions of 512 B, spacing 128 B");
+    println!("# columns: aggs,depth,ns,mbps,hidden_ns,derive_hidden_ns,depth_used,nb_inflight_peak");
+    let mut series: Vec<(String, Vec<f64>)> =
+        depths.iter().map(|(n, _)| (n.to_string(), Vec::new())).collect();
+    for &aggs in &agg_counts {
+        // Small collective buffer -> many cycles per call: the regime
+        // where pipeline depth matters at all.
+        let hints = |depth| Hints {
+            cb_nodes: Some(aggs),
+            cb_buffer_size: 256 << 10,
+            pipeline_depth: depth,
+            ..Hints::default()
+        };
+        let best = |depth: PipelineDepth, path: &str| {
+            let mut first: Option<Sample> = None;
+            for _ in 0..scale.best_of {
+                let s = run_once(spec, &hints(depth), path);
+                first = Some(match first.take() {
+                    None => s,
+                    Some(b) => {
+                        assert_eq!(b.image, s.image, "repetitions diverge");
+                        if s.ns < b.ns { s } else { b }
+                    }
+                });
+            }
+            first.unwrap()
+        };
+        let mut baseline: Option<Vec<u8>> = None;
+        let mut auto_bw = 0.0;
+        let mut fixed2_bw = 0.0;
+        for ((name, depth), (_, bws)) in depths.iter().zip(series.iter_mut()) {
+            let s = best(*depth, &format!("a6_{name}"));
+            match &baseline {
+                None => baseline = Some(s.image.clone()),
+                Some(b) => assert_eq!(*b, s.image, "file images diverge at {name}, {aggs} aggs"),
+            }
+            let bw = mbps(spec.aggregate_bytes(), s.ns);
+            println!(
+                "{aggs},{name},{},{bw:.2},{},{},{},{}",
+                s.ns, s.hidden, s.derive_hidden, s.depth_used, s.nb_peak
+            );
+            bws.push(bw);
+            match *name {
+                "auto" => auto_bw = bw,
+                "depth-2" => fixed2_bw = bw,
+                _ => {}
+            }
+        }
+        assert!(
+            auto_bw >= fixed2_bw,
+            "auto depth ({auto_bw:.2} MB/s) slower than fixed depth 2 ({fixed2_bw:.2} MB/s) at {aggs} aggs"
+        );
+    }
+    let xs: Vec<String> = agg_counts.iter().map(|a| a.to_string()).collect();
+    print_table("pipeline depth — I/O bandwidth (MB/s)", "aggs", &xs, &series);
+    println!("\nfile images byte-identical across depths at every aggregator count");
+    println!("auto depth >= fixed depth 2 throughput at every aggregator count");
+}

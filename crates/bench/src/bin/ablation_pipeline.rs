@@ -10,7 +10,7 @@
 //! Default scale: 16 procs, 1024 regions, aggregators {4, 8}.
 
 use flexio_bench::{mbps, print_table, Scale};
-use flexio_core::{Hints, MpiFile};
+use flexio_core::{Hints, MpiFile, PipelineDepth};
 use flexio_hpio::{HpioSpec, TypeStyle};
 use flexio_pfs::{Pfs, PfsConfig};
 use flexio_sim::{run, CostModel};
@@ -69,10 +69,13 @@ fn main() {
         // A small collective buffer forces many buffer cycles per call —
         // the regime double buffering targets (one cycle has nothing to
         // overlap with).
+        // Pinned to depth 2: this ablation isolates the original §4
+        // double-buffering win; ablation_depth studies deeper pipelines.
         let hints = |double_buffer| Hints {
             cb_nodes: Some(aggs),
             cb_buffer_size: 256 << 10,
             double_buffer,
+            pipeline_depth: PipelineDepth::Fixed(2),
             ..Hints::default()
         };
         let best = |db: bool, path: &str| {

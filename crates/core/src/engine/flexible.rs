@@ -21,13 +21,90 @@
 use crate::engine::common::{group_by_window, merge_pieces, ClientStream, Piece, PlanEntry};
 use crate::engine::schedule::{self, schedule_key, CycleSchedule, ExchangeSchedule};
 use crate::error::Result;
-use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
+use crate::hints::{aggregator_ranks, ExchangeMode, Hints, PipelineDepth};
 use crate::meta::ClientAccess;
 use crate::realm::{AssignCtx, EvenAar, FileRealm, PersistentBlockCyclic, RealmAssigner};
-use flexio_io::{read_packed_nb, resolve, write_packed_nb, Resolved};
+use flexio_io::{read_packed_nb, resolve, write_packed_nb, IoCompletion, Resolved};
 use flexio_pfs::FileHandle;
 use flexio_sim::{OverlapWindow, Phase, Rank};
 use flexio_types::MemLayout;
+use std::collections::VecDeque;
+
+/// Most in-flight completion windows any pipeline keeps (depth − 1). Past
+/// eight buffers the exchange can't keep even one OST busy per extra
+/// buffer, and real memory would run out long before virtual time cared.
+const MAX_INFLIGHT: usize = 7;
+
+/// How many buffer cycles may be in flight ahead of the one being
+/// exchanged — the resolved form of `flexio_double_buffer` +
+/// `flexio_pipeline_depth`, expressed as a *cap* on outstanding
+/// completion windows (cap = depth − 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CapPolicy {
+    /// Never exceed this many outstanding windows. 0 is the strictly
+    /// serial engine, 1 the classic two-buffer pipeline.
+    Fixed(usize),
+    /// Start at 1 (double buffering) and re-derive the cap after every
+    /// issue from the measured I/O:exchange duration ratio: I/O that runs
+    /// `r` times longer than an exchange needs `ceil(r)` cycles of
+    /// exchange work to hide behind. `bound` caps the ratio — an
+    /// aggregator's useful outstanding I/O is limited by its share of the
+    /// stripe width, since ops beyond that only queue on OSTs other
+    /// aggregators are driving (and the measured I/O time then includes
+    /// their queueing, which would talk the ratio into going ever
+    /// deeper).
+    Auto {
+        /// `clamp(2·n_osts / n_aggregators, 1, MAX_INFLIGHT)`.
+        bound: usize,
+    },
+}
+
+impl CapPolicy {
+    fn resolve(hints: &Hints, n_osts: usize, n_aggs: usize) -> CapPolicy {
+        if !hints.double_buffer {
+            return CapPolicy::Fixed(0);
+        }
+        match hints.pipeline_depth {
+            PipelineDepth::Auto => {
+                CapPolicy::Auto { bound: (2 * n_osts / n_aggs.max(1)).clamp(1, MAX_INFLIGHT) }
+            }
+            PipelineDepth::Fixed(d) => {
+                CapPolicy::Fixed(((d as usize).saturating_sub(1)).min(MAX_INFLIGHT))
+            }
+        }
+    }
+
+    /// The cap to start the cycle loop with.
+    fn initial_cap(self) -> usize {
+        match self {
+            CapPolicy::Fixed(c) => c,
+            CapPolicy::Auto { .. } => 1,
+        }
+    }
+
+    /// Re-derive the cap after an issue whose I/O occupied `io_ns` of
+    /// virtual time, the preceding exchange `exch_ns`. Fixed caps never
+    /// move.
+    fn adapt(self, io_ns: u64, exch_ns: u64) -> usize {
+        match self {
+            CapPolicy::Fixed(c) => c,
+            CapPolicy::Auto { bound } => {
+                (io_ns.div_ceil(exch_ns.max(1)) as usize).clamp(1, bound)
+            }
+        }
+    }
+
+    /// Whether the derive-overlap optimisation may run: it perturbs the
+    /// virtual timeline (never the counters), so the charge-replay
+    /// configurations — serial and classic double buffering — keep it off
+    /// to stay bit-identical to the reference engines.
+    fn allows_derive_overlap(self) -> bool {
+        match self {
+            CapPolicy::Fixed(c) => c >= 2,
+            CapPolicy::Auto { .. } => true,
+        }
+    }
+}
 
 /// Direction + user buffer for one collective call.
 pub enum DataBuf<'a> {
@@ -96,13 +173,31 @@ pub fn run(
     // them — parse before the loop, window/stream work at the top of each
     // cycle — so a miss's virtual clock matches the uncached engine at
     // every send and file request. A hit skips all of it.
+    //
+    // With a deep (≥ 3) or auto pipeline, a miss instead charges cycle 0's
+    // derivation up front and lets the rest — pure local computation over
+    // already-exchanged metadata — proceed as an overlap window behind the
+    // first cycle's exchange. Same pair counts, earlier first send.
+    let policy =
+        CapPolicy::resolve(hints, handle.pfs().config().n_osts, sched.agg_ranks.len());
+    let derive_overlap = !hit && policy.allows_derive_overlap() && sched.cycles.len() > 1;
+    let mut derive_win: Option<OverlapWindow> = None;
     if !hit {
-        rank.charge_pairs(sched.parse_pairs);
+        if derive_overlap {
+            rank.charge_pairs(sched.parse_pairs + sched.cycles[0].pairs);
+            let rest: u64 = sched.cycles[1..].iter().map(|c| c.pairs).sum();
+            if rest > 0 {
+                derive_win = Some(rank.charge_pairs_overlapped(rest));
+            }
+        } else {
+            rank.charge_pairs(sched.parse_pairs);
+        }
     }
+    let charge_cycles = !hit && !derive_overlap;
     if is_write {
-        run_write(rank, handle, my, mem, &buf, hints, sched, hit);
+        run_write(rank, handle, my, mem, &buf, hints, sched, charge_cycles, policy, derive_win);
     } else {
-        run_read(rank, handle, my, mem, &mut buf, hints, sched, hit);
+        run_read(rank, handle, my, mem, &mut buf, hints, sched, charge_cycles, policy, derive_win);
     }
 
     if hints.schedule_cache {
@@ -356,16 +451,16 @@ fn exchange_write(
 }
 
 /// Issue half of a write cycle: commit the assembled collective buffer to
-/// the file with nonblocking requests. Returns the virtual window
-/// `(issued_at, done_at)` the I/O occupies; the caller decides whether to
-/// block on it (serial engine) or overlap it (pipelined engine).
+/// the file with nonblocking requests. Returns the virtual window the I/O
+/// occupies; the caller decides whether to block on it (serial engine) or
+/// overlap it (pipelined engine).
 fn issue_write(
     rank: &Rank,
     handle: &FileHandle,
     hints: &Hints,
     window: &[(u64, u64)],
     stage: &WriteStage,
-) -> (u64, u64) {
+) -> IoCompletion {
     // One buffer-to-file request per realm chunk: sieving must never span
     // a realm boundary (the gap would belong to another aggregator).
     let t0 = rank.now();
@@ -394,17 +489,18 @@ fn issue_write(
         .done_at();
         pos += glen as usize;
     }
-    (t0, t)
+    IoCompletion::span(t0, t)
 }
 
-/// Drive the write cycles. With `double_buffer` the loop is software-
-/// pipelined two deep: the exchange for cycle *i+1* proceeds (into the
-/// second collective buffer) while cycle *i*'s file I/O is still in
-/// flight, and only then is the previous I/O waited on — charging
-/// `max(io, exchange)` instead of their sum. Cycle 0's exchange is the
-/// fill prologue, the last wait the drain epilogue. Without
-/// `double_buffer` every cycle issues and immediately waits, which is
-/// charge-for-charge the serial engine.
+/// Drive the write cycles as an N-deep software pipeline: up to `cap`
+/// cycles of file I/O stay in flight while the next cycle's exchange runs
+/// (into its own collective buffer), and an I/O is only waited on when its
+/// buffer must be reused — charging `max(io, exchange)` across the whole
+/// window instead of their sum. Cycle 0's exchange is the fill prologue,
+/// the trailing waits the drain epilogue. `cap == 1` is charge-for-charge
+/// the classic double-buffered engine; `cap == 0` issues and immediately
+/// waits every cycle, charge-for-charge the serial engine. Under
+/// [`CapPolicy::Auto`] the cap follows the measured I/O:exchange ratio.
 #[allow(clippy::too_many_arguments)]
 fn run_write(
     rank: &Rank,
@@ -414,33 +510,60 @@ fn run_write(
     buf: &DataBuf<'_>,
     hints: &Hints,
     sched: &ExchangeSchedule,
-    hit: bool,
+    charge_cycles: bool,
+    policy: CapPolicy,
+    mut derive_win: Option<OverlapWindow>,
 ) {
-    let mut inflight: Option<OverlapWindow> = None;
-    for cyc in &sched.cycles {
-        if !hit {
+    let mut cap = policy.initial_cap();
+    let mut inflight: VecDeque<OverlapWindow> = VecDeque::new();
+    for (i, cyc) in sched.cycles.iter().enumerate() {
+        if charge_cycles {
             rank.charge_pairs(cyc.pairs);
         }
+        let exch_t0 = rank.now();
         let stage = exchange_write(
             rank, my, mem, buf, hints, &sched.agg_ranks, &cyc.my_pieces, &cyc.agg_pieces,
         );
-        // Both collective buffers are full once the next exchange has run:
-        // drain the in-flight I/O before reusing its buffer.
-        if let Some(w) = inflight.take() {
-            rank.overlap_complete(w);
-        }
-        if let Some(stage) = stage {
-            let (t0, t) = issue_write(rank, handle, hints, &cyc.my_window, &stage);
-            if hints.double_buffer {
-                inflight = Some(rank.overlap_begin(t, Phase::Io));
-            } else {
-                rank.advance_to(t);
-                rank.note_phase(Phase::Io, t.saturating_sub(t0));
+        let exch_ns = rank.now().saturating_sub(exch_t0);
+        if i == 0 {
+            // Cycle 1+'s derivation has been overlapping this exchange;
+            // cycle 1 needs it next, so settle up now.
+            if let Some(w) = derive_win.take() {
+                rank.overlap_complete_derive(w);
             }
         }
+        // All cap+1 collective buffers are full once the next exchange has
+        // run: drain the oldest in-flight I/O before reusing its buffer.
+        while inflight.len() >= cap.max(1) {
+            rank.overlap_complete(inflight.pop_front().expect("nonempty"));
+            handle.nb_retired();
+        }
+        if let Some(stage) = stage {
+            let io = issue_write(rank, handle, hints, &cyc.my_window, &stage);
+            if cap == 0 {
+                // Wait immediately. Begin/complete (rather than a raw
+                // advance + note) keeps the phase buckets summing to
+                // elapsed even when a sieve copy inside the issue already
+                // charged Compute time; nothing is hidden, so
+                // overlap_saved_ns stays 0.
+                rank.overlap_complete(rank.overlap_begin(io.done_at(), Phase::Io));
+                rank.note_pipeline_depth(1);
+            } else {
+                inflight.push_back(rank.overlap_begin(io.done_at(), Phase::Io));
+                handle.nb_issued();
+                rank.note_pipeline_depth(inflight.len() as u64 + 1);
+                cap = policy.adapt(io.duration(), exch_ns);
+            }
+        }
+        // If Auto just lowered the cap, fall back to it right away.
+        while inflight.len() > cap {
+            rank.overlap_complete(inflight.pop_front().expect("nonempty"));
+            handle.nb_retired();
+        }
     }
-    if let Some(w) = inflight {
+    for w in inflight {
         rank.overlap_complete(w);
+        handle.nb_retired();
     }
 }
 
@@ -456,15 +579,16 @@ struct ReadStage {
 
 /// Issue half of a read cycle: an aggregator with data this cycle reads
 /// its window slice into a collective buffer with nonblocking requests.
-/// Returns the I/O's virtual window `(issued_at, done_at)` and the filled
-/// stage; `None` for pure clients and idle cycles.
+/// Returns the I/O's virtual window and the filled stage; `None` — with
+/// nothing charged, so a re-issue is free — for pure clients and idle
+/// cycles.
 fn issue_read(
     rank: &Rank,
     handle: &FileHandle,
     hints: &Hints,
     window: &[(u64, u64)],
     agg_pieces: &[(usize, Vec<Piece>)],
-) -> Option<(u64, u64, ReadStage)> {
+) -> Option<(IoCompletion, ReadStage)> {
     if agg_pieces.iter().all(|(_, p)| p.is_empty()) {
         return None;
     }
@@ -494,7 +618,7 @@ fn issue_read(
         .done_at();
         pos += glen as usize;
     }
-    Some((t0, t, ReadStage { entries, packed }))
+    Some((IoCompletion::span(t0, t), ReadStage { entries, packed }))
 }
 
 /// Distribute half of a read cycle: the aggregator slices its collective
@@ -577,14 +701,16 @@ fn distribute_read(
     }
 }
 
-/// Drive the read cycles. With `double_buffer` the loop is pipelined two
-/// deep in the opposite direction from writes: cycle *i+1*'s file read is
-/// issued (into the second collective buffer) before cycle *i*'s data is
-/// distributed, so the next read's latency hides behind the current
-/// exchange/scatter. Cycle 0's read is waited on immediately (fill
-/// prologue — there is nothing to overlap it with). Without
-/// `double_buffer` each cycle reads, waits, and distributes serially,
-/// matching the serial engine charge for charge.
+/// Drive the read cycles as an N-deep pipeline running in the opposite
+/// direction from writes: up to `cap` future cycles' file reads are
+/// prefetched (each into its own collective buffer) before the current
+/// cycle's data is distributed, so read latency hides behind the
+/// exchange/scatter work of the cycles in between. Cycle 0's read is
+/// waited on immediately (fill prologue — there is nothing to overlap it
+/// with). `cap == 1` is charge-for-charge the classic double-buffered
+/// engine; `cap == 0` reads, waits, and distributes serially, matching
+/// the serial engine charge for charge. Under [`CapPolicy::Auto`] the cap
+/// follows the measured I/O:distribute ratio.
 #[allow(clippy::too_many_arguments)]
 fn run_read(
     rank: &Rank,
@@ -594,47 +720,74 @@ fn run_read(
     buf: &mut DataBuf<'_>,
     hints: &Hints,
     sched: &ExchangeSchedule,
-    hit: bool,
+    charge_cycles: bool,
+    policy: CapPolicy,
+    mut derive_win: Option<OverlapWindow>,
 ) {
     let n = sched.cycles.len();
-    // The in-flight read: its overlap window (None once waited on) and its
-    // stage, for ranks that aggregate that cycle.
-    let mut inflight: Option<(Option<OverlapWindow>, ReadStage)> = None;
+    let mut cap = policy.initial_cap();
+    // Prefetched reads: (cycle index, overlap window, filled stage), in
+    // cycle order. `next` is the first cycle not yet issued.
+    let mut q: VecDeque<(usize, OverlapWindow, ReadStage)> = VecDeque::new();
+    let mut next = 0usize;
+    // The previous cycle's distribute duration — the exchange-side work a
+    // prefetched read hides behind.
+    let mut exch_ns = 0u64;
     for i in 0..n {
-        if !hit {
+        if charge_cycles {
             rank.charge_pairs(sched.cycles[i].pairs);
         }
-        if inflight.is_none() {
-            // Fill (or serial path): issue this cycle's read and block on it.
-            if let Some((t0, t, stage)) =
-                issue_read(rank, handle, hints, &sched.cycles[i].my_window, &sched.cycles[i].agg_pieces)
+        let stage = if q.front().is_some_and(|(c, _, _)| *c == i) {
+            // This cycle's read was prefetched; its window has been
+            // overlapping the distributions since. Drain it now.
+            let (_, w, stage) = q.pop_front().expect("nonempty");
+            rank.overlap_complete(w);
+            handle.nb_retired();
+            Some(stage)
+        } else {
+            // Fill (or serial path, or an idle cycle between prefetches):
+            // issue this cycle's read and block on it.
+            match issue_read(rank, handle, hints, &sched.cycles[i].my_window, &sched.cycles[i].agg_pieces)
             {
-                rank.advance_to(t);
-                rank.note_phase(Phase::Io, t.saturating_sub(t0));
-                inflight = Some((None, stage));
+                Some((io, stage)) => {
+                    // Immediate begin/complete, not advance + note: see
+                    // the serial write path.
+                    rank.overlap_complete(rank.overlap_begin(io.done_at(), Phase::Io));
+                    rank.note_pipeline_depth(1);
+                    Some(stage)
+                }
+                None => None,
             }
-        } else if let Some((w, _)) = &mut inflight {
-            // Steady state: the read was issued last cycle; its window has
-            // been overlapping that cycle's distribution. Drain it now.
-            if let Some(w) = w.take() {
-                rank.overlap_complete(w);
+        };
+        if next <= i {
+            next = i + 1;
+        }
+        if i == 0 {
+            // Cycle 1+'s derivation overlapped the fill read; settle up
+            // before prefetching needs its piece lists.
+            if let Some(w) = derive_win.take() {
+                rank.overlap_complete_derive(w);
             }
         }
-        let stage = inflight.take().map(|(_, s)| s);
-        if hints.double_buffer && i + 1 < n {
-            // Issue the next cycle's read before distributing this one: it
-            // proceeds into the second buffer while the exchange runs.
-            if let Some((_t0, t, next)) = issue_read(
+        // Prefetch up to `cap` cycles ahead of the one being distributed.
+        while cap > 0 && next < n && q.len() < cap && next <= i + cap {
+            if let Some((io, stage)) = issue_read(
                 rank,
                 handle,
                 hints,
-                &sched.cycles[i + 1].my_window,
-                &sched.cycles[i + 1].agg_pieces,
+                &sched.cycles[next].my_window,
+                &sched.cycles[next].agg_pieces,
             ) {
-                inflight = Some((Some(rank.overlap_begin(t, Phase::Io)), next));
+                q.push_back((next, rank.overlap_begin(io.done_at(), Phase::Io), stage));
+                handle.nb_issued();
+                rank.note_pipeline_depth(q.len() as u64 + 1);
+                cap = policy.adapt(io.duration(), exch_ns);
             }
+            next += 1;
         }
+        let dist_t0 = rank.now();
         distribute_read(rank, my, mem, buf, hints, &sched.agg_ranks, &sched.cycles[i].my_pieces, stage);
+        exch_ns = rank.now().saturating_sub(dist_t0);
     }
-    debug_assert!(inflight.is_none(), "a read stage was issued but never distributed");
+    debug_assert!(q.is_empty(), "a read stage was issued but never distributed");
 }

@@ -31,6 +31,27 @@ pub enum ExchangeMode {
     Alltoallw,
 }
 
+/// How many buffer cycles the flexible engine keeps in flight
+/// (`flexio_pipeline_depth`). Depth *d* means up to `d − 1` cycles of file
+/// I/O outstanding while the next exchange runs: 1 is the strictly serial
+/// engine, 2 the classic double buffering, deeper pipelines pay off when
+/// one cycle's I/O takes longer than one cycle's exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineDepth {
+    /// Choose per buffer cycle from the measured I/O:exchange time ratio,
+    /// clamped to `[2, 8]` and bounded by the aggregator's share of the
+    /// file system's stripe width (outstanding I/O beyond that only
+    /// queues on OSTs other aggregators are driving). Waiting on
+    /// in-flight I/O is purely local, so each rank adapts independently
+    /// without collective agreement.
+    #[default]
+    Auto,
+    /// Exactly this many cycles in flight. `Fixed(1)` reproduces the
+    /// serial engine and `Fixed(2)` the two-stage pipeline, charge for
+    /// charge; values above 8 are clamped.
+    Fixed(u32),
+}
+
 /// Tunables for collective and independent I/O, ROMIO-hint style.
 #[derive(Clone)]
 pub struct Hints {
@@ -62,6 +83,10 @@ pub struct Hints {
     /// double-buffering the paper's §4 inherits). On by default; off
     /// reproduces the strictly serial per-cycle engine charge for charge.
     pub double_buffer: bool,
+    /// Pipeline depth policy (`flexio_pipeline_depth`): how many buffer
+    /// cycles may be in flight at once. Ignored (forced to 1) when
+    /// [`Hints::double_buffer`] is off.
+    pub pipeline_depth: PipelineDepth,
     /// Engine selection.
     pub engine: Engine,
     /// Custom file-realm assigner; overrides the built-in choice
@@ -81,6 +106,7 @@ impl Default for Hints {
             exchange: ExchangeMode::default(),
             schedule_cache: true,
             double_buffer: true,
+            pipeline_depth: PipelineDepth::default(),
             engine: Engine::default(),
             realm_assigner: None,
         }
@@ -98,6 +124,7 @@ impl std::fmt::Debug for Hints {
             .field("exchange", &self.exchange)
             .field("schedule_cache", &self.schedule_cache)
             .field("double_buffer", &self.double_buffer)
+            .field("pipeline_depth", &self.pipeline_depth)
             .field("engine", &self.engine)
             .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
             .finish()
@@ -120,6 +147,12 @@ impl Hints {
         }
         if self.fr_alignment == Some(0) {
             return Err(crate::error::IoError::BadHints("fr_alignment must be nonzero"));
+        }
+        if self.pipeline_depth == PipelineDepth::Fixed(0) {
+            return Err(crate::error::IoError::BadHints(
+                "flexio_pipeline_depth must be a positive integer or auto (0 disables nothing; \
+                 use flexio_double_buffer=disable or depth 1 for the serial engine)",
+            ));
         }
         Ok(())
     }
@@ -173,6 +206,21 @@ mod tests {
         assert!(Hints { cb_buffer_size: 0, ..Hints::default() }.validate().is_err());
         assert!(Hints { fr_alignment: Some(0), ..Hints::default() }.validate().is_err());
         assert!(Hints { cb_nodes: Some(0), ..Hints::default() }.validate().is_err());
+        assert!(
+            Hints { pipeline_depth: PipelineDepth::Fixed(0), ..Hints::default() }
+                .validate()
+                .is_err()
+        );
+        // validate_for inherits the depth check.
+        assert!(
+            Hints { pipeline_depth: PipelineDepth::Fixed(0), ..Hints::default() }
+                .validate_for(4)
+                .is_err()
+        );
+        Hints { pipeline_depth: PipelineDepth::Fixed(1), ..Hints::default() }.validate().unwrap();
+        Hints { pipeline_depth: PipelineDepth::Fixed(6), ..Hints::default() }
+            .validate_for(4)
+            .unwrap();
     }
 
     #[test]

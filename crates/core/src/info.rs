@@ -18,11 +18,12 @@
 //! | `flexio_exchange` | `nonblocking` or `alltoallw` |
 //! | `flexio_schedule_cache` | `enable`/`disable` exchange-schedule caching (flexio extension, default enable) |
 //! | `flexio_double_buffer` | `enable`/`disable` pipelined buffer cycles (exchange/I-O overlap; flexio extension, default enable) |
+//! | `flexio_pipeline_depth` | `auto` or a positive integer: buffer cycles in flight at once (flexio extension, default auto; `1` = serial, `2` = classic double buffering) |
 //!
 //! Unknown keys are ignored, as MPI requires.
 
 use crate::error::{IoError, Result};
-use crate::hints::{Engine, ExchangeMode, Hints};
+use crate::hints::{Engine, ExchangeMode, Hints, PipelineDepth};
 use flexio_io::IoMethod;
 
 /// Apply `(key, value)` info pairs on top of `base` hints.
@@ -108,6 +109,14 @@ pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
                     _ => {
                         return Err(IoError::BadHints("flexio_double_buffer takes enable/disable"))
                     }
+                };
+            }
+            "flexio_pipeline_depth" => {
+                h.pipeline_depth = match value {
+                    "auto" => PipelineDepth::Auto,
+                    _ => PipelineDepth::Fixed(value.parse().map_err(|_| {
+                        IoError::BadHints("flexio_pipeline_depth takes auto or a positive integer")
+                    })?),
                 };
             }
             _ => {} // unknown hints are ignored per the MPI standard
@@ -198,6 +207,19 @@ mod tests {
         let h = hints_from_info(h, &[("flexio_double_buffer", "enable")]).unwrap();
         assert!(h.double_buffer);
         assert!(hints_from_info(Hints::default(), &[("flexio_double_buffer", "maybe")]).is_err());
+    }
+
+    #[test]
+    fn pipeline_depth_key() {
+        assert_eq!(Hints::default().pipeline_depth, PipelineDepth::Auto);
+        let h = hints_from_info(Hints::default(), &[("flexio_pipeline_depth", "4")]).unwrap();
+        assert_eq!(h.pipeline_depth, PipelineDepth::Fixed(4));
+        let h = hints_from_info(h, &[("flexio_pipeline_depth", "auto")]).unwrap();
+        assert_eq!(h.pipeline_depth, PipelineDepth::Auto);
+        // Non-numeric values other than "auto" are descriptive errors, and
+        // 0 is caught by Hints::validate at the end of parsing.
+        assert!(hints_from_info(Hints::default(), &[("flexio_pipeline_depth", "fast")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("flexio_pipeline_depth", "0")]).is_err());
     }
 
     #[test]

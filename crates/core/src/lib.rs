@@ -34,7 +34,7 @@ pub mod realm;
 
 pub use error::{IoError, Result};
 pub use file::MpiFile;
-pub use hints::{aggregator_ranks, Engine, ExchangeMode, Hints};
+pub use hints::{aggregator_ranks, Engine, ExchangeMode, Hints, PipelineDepth};
 pub use info::hints_from_info;
 pub use meta::ClientAccess;
 pub use profile::Profile;

@@ -27,6 +27,11 @@ pub struct Profile {
     /// Total virtual ns of in-flight I/O hidden behind exchange work
     /// across ranks (pipelined engine only; zero for the serial engine).
     pub overlap_saved_total_ns: u64,
+    /// Total virtual ns of schedule derivation hidden behind the first
+    /// cycle's exchange across ranks (depth ≥ 3 or auto only).
+    pub derive_overlap_saved_total_ns: u64,
+    /// Deepest pipeline any rank reached (high-water mark, not a sum).
+    pub pipeline_depth_max: u64,
 }
 
 impl Profile {
@@ -43,6 +48,8 @@ impl Profile {
             p.msgs_total += s.msgs_sent;
             p.bytes_sent_total += s.bytes_sent;
             p.overlap_saved_total_ns += s.overlap_saved_ns;
+            p.derive_overlap_saved_total_ns += s.derive_overlap_saved_ns;
+            p.pipeline_depth_max = p.pipeline_depth_max.max(s.pipeline_depth_used);
         }
         p
     }
@@ -64,6 +71,10 @@ impl Profile {
                 flatten_cache_hits: a.flatten_cache_hits - b.flatten_cache_hits,
                 flatten_cache_misses: a.flatten_cache_misses - b.flatten_cache_misses,
                 overlap_saved_ns: a.overlap_saved_ns - b.overlap_saved_ns,
+                derive_overlap_saved_ns: a.derive_overlap_saved_ns - b.derive_overlap_saved_ns,
+                // A watermark, not an accumulator: the window's deepest
+                // pipeline is whatever the cumulative snapshot reached.
+                pipeline_depth_used: a.pipeline_depth_used,
                 phase_ns: [
                     a.phase_ns[0] - b.phase_ns[0],
                     a.phase_ns[1] - b.phase_ns[1],

@@ -109,6 +109,23 @@ pub struct IoCompletion {
 }
 
 impl IoCompletion {
+    /// A completion spanning `[issued_at, done_at)` — for callers that
+    /// compose several lower-level ops (locks, sieve chunks, stripes) into
+    /// one logical request window.
+    pub fn span(issued_at: u64, done_at: u64) -> IoCompletion {
+        debug_assert!(done_at >= issued_at, "completion must not end before it starts");
+        IoCompletion { issued_at, done_at }
+    }
+
+    /// The window covering both `self` and `other` (earliest issue to
+    /// latest completion) — chained ops reported as one.
+    pub fn merged(self, other: IoCompletion) -> IoCompletion {
+        IoCompletion {
+            issued_at: self.issued_at.min(other.issued_at),
+            done_at: self.done_at.max(other.done_at),
+        }
+    }
+
     /// Virtual time the operation was issued at.
     pub fn issued_at(&self) -> u64 {
         self.issued_at
@@ -597,6 +614,18 @@ mod tests {
         assert_eq!((c.issued_at(), c.done_at()), (5, 5));
         let r = read_packed_nb(&h, 7, &[], &mut [], &IoMethod::Naive, 0);
         assert_eq!((r.issued_at(), r.done_at()), (7, 7));
+    }
+
+    #[test]
+    fn completion_span_and_merge() {
+        let a = IoCompletion::span(100, 250);
+        assert_eq!((a.issued_at(), a.done_at(), a.duration()), (100, 250, 150));
+        let b = IoCompletion::span(200, 220);
+        let m = a.merged(b);
+        assert_eq!((m.issued_at(), m.done_at()), (100, 250));
+        let c = IoCompletion::span(50, 400).merged(a);
+        assert_eq!((c.issued_at(), c.done_at()), (50, 400));
+        assert_eq!(IoCompletion::span(7, 7).duration(), 0);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct PfsStats {
     pub flush_bytes: AtomicU64,
     /// Page fills into client caches.
     pub cache_fills: AtomicU64,
+    /// High-water mark of nonblocking ops outstanding on any one handle
+    /// (see [`FileHandle::nb_issued`]) — how deep callers actually queue
+    /// the nb API, e.g. the collective engine's pipeline depth.
+    pub nb_inflight_peak: AtomicU64,
 }
 
 /// Plain-value snapshot of [`PfsStats`].
@@ -58,6 +62,8 @@ pub struct StatsSnapshot {
     pub flush_bytes: u64,
     /// Page fills into client caches.
     pub cache_fills: u64,
+    /// High-water mark of nonblocking ops outstanding on any one handle.
+    pub nb_inflight_peak: u64,
 }
 
 struct OstState {
@@ -140,7 +146,7 @@ impl Pfs {
                 })
             }))
         };
-        FileHandle { pfs: Arc::clone(self), file, client }
+        FileHandle { pfs: Arc::clone(self), file, client, nb_inflight: AtomicU64::new(0) }
     }
 
     /// Delete a file (for test isolation).
@@ -161,6 +167,7 @@ impl Pfs {
             lock_revocations: s.lock_revocations.load(Ordering::SeqCst),
             flush_bytes: s.flush_bytes.load(Ordering::SeqCst),
             cache_fills: s.cache_fills.load(Ordering::SeqCst),
+            nb_inflight_peak: s.nb_inflight_peak.load(Ordering::SeqCst),
         }
     }
 
@@ -313,6 +320,12 @@ pub struct FileHandle {
     pfs: Arc<Pfs>,
     file: Arc<FileObj>,
     client: usize,
+    /// Nonblocking ops issued on this handle and not yet retired. The data
+    /// already landed at issue time, so this bounds nothing — it is pure
+    /// telemetry a caller maintains via [`FileHandle::nb_issued`] /
+    /// [`FileHandle::nb_retired`] so queueing depth shows up in
+    /// [`PfsStats`].
+    nb_inflight: AtomicU64,
 }
 
 impl FileHandle {
@@ -530,6 +543,25 @@ impl FileHandle {
             pos += sl as usize;
         }
         self.write_locked(t, off, &buf)
+    }
+
+    /// Record that one more nonblocking op is outstanding on this handle
+    /// (call when queueing an [`NbOp`]/completion for later waiting, not
+    /// when waiting immediately); feeds [`PfsStats::nb_inflight_peak`].
+    pub fn nb_issued(&self) {
+        let depth = self.nb_inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.pfs.stats.nb_inflight_peak.fetch_max(depth, Ordering::SeqCst);
+    }
+
+    /// Record that one outstanding nonblocking op was waited on.
+    pub fn nb_retired(&self) {
+        let prev = self.nb_inflight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "nb_retired without a matching nb_issued");
+    }
+
+    /// Nonblocking ops currently outstanding on this handle.
+    pub fn nb_inflight(&self) -> u64 {
+        self.nb_inflight.load(Ordering::SeqCst)
     }
 
     /// Nonblocking [`FileHandle::write`]: issues the write at `now` and
@@ -856,6 +888,33 @@ mod tests {
         let t3 = a.sieve_chunk_write(t2, 0, 64, &segs, &[9u8; 16], false);
         let o3 = b.sieve_chunk_write_nb(o2.done_at(), 0, 64, &segs, &[9u8; 16], false);
         assert_eq!(t3, o3.done_at());
+    }
+
+    #[test]
+    fn nb_inflight_tracks_peak_per_handle() {
+        let pfs = tiny();
+        let a = pfs.open("f", 0);
+        let b = pfs.open("f", 1);
+        assert_eq!(pfs.stats().nb_inflight_peak, 0);
+        let ops: Vec<NbOp> = (0..3)
+            .map(|i| {
+                let op = a.pwrite_nb(0, i * 64, &[1u8; 64]);
+                a.nb_issued();
+                op
+            })
+            .collect();
+        assert_eq!(a.nb_inflight(), 3);
+        // A second handle's queue is independent.
+        let _op = b.pwrite_nb(0, 512, &[2u8; 64]);
+        b.nb_issued();
+        assert_eq!(b.nb_inflight(), 1);
+        b.nb_retired();
+        for op in ops {
+            let _ = op.wait(0);
+            a.nb_retired();
+        }
+        assert_eq!(a.nb_inflight(), 0);
+        assert_eq!(pfs.stats().nb_inflight_peak, 3, "peak is the deepest single-handle queue");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod cost;
 pub mod prng;
+pub mod prop;
 pub mod rank;
 pub mod world;
 

@@ -1,0 +1,147 @@
+//! A minimal in-repo property-testing harness.
+//!
+//! The external `proptest` crate is unavailable in offline builds (see the
+//! `proptests` feature gate), so suites that must always run use this
+//! harness instead: random cases from the deterministic
+//! [`XorShift64Star`], a fixed default seed so CI is reproducible, and a
+//! proptest-compatible regressions file (`cc <hex-seed>` lines) whose
+//! cases replay before any fresh ones.
+//!
+//! Environment knobs (both optional):
+//!
+//! * `PROPTEST_CASES` — number of fresh cases per property (default 32;
+//!   `scripts/verify.sh --thorough` sets 512);
+//! * `FLEXIO_PROP_SEED` — base seed, decimal or `0x`-prefixed hex. The
+//!   default is a fixed constant, so runs are reproducible unless a seed
+//!   is supplied explicitly.
+//!
+//! On failure the harness reports the case seed as a ready-to-commit
+//! `cc <seed>` regressions line together with the generated value, then
+//! re-raises the panic so the test still fails normally.
+
+use crate::prng::XorShift64Star;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Base seed used when `FLEXIO_PROP_SEED` is not set: FNV-1a of
+/// "flexio-prop" — stable, and obviously arbitrary.
+pub const DEFAULT_SEED: u64 = default_seed();
+
+const fn default_seed() -> u64 {
+    let name = b"flexio-prop";
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < name.len() {
+        h ^= name[i] as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    h
+}
+
+/// One property's runner: case count, base seed, and regression seeds.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    name: &'static str,
+    cases: u64,
+    seed: u64,
+    regressions: Vec<u64>,
+}
+
+/// splitmix64: decorrelates (base seed, property name, case index) into
+/// per-case seeds so neighbouring cases share no PRNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    let v = v.trim();
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(n) => Some(n),
+        Err(_) => panic!("{key} must be a decimal or 0x-hex integer, got {v:?}"),
+    }
+}
+
+impl Runner {
+    /// A runner for the property called `name`, honouring
+    /// `PROPTEST_CASES` and `FLEXIO_PROP_SEED`.
+    pub fn new(name: &'static str) -> Self {
+        Runner {
+            name,
+            cases: env_u64("PROPTEST_CASES").unwrap_or(32),
+            seed: env_u64("FLEXIO_PROP_SEED").unwrap_or(DEFAULT_SEED),
+            regressions: Vec::new(),
+        }
+    }
+
+    /// Override the fresh-case count (tests that are expensive per case).
+    pub fn cases(mut self, cases: u64) -> Self {
+        self.cases = env_u64("PROPTEST_CASES").unwrap_or(cases);
+        self
+    }
+
+    /// Parse a proptest-style regressions file's *contents* (commit the
+    /// file and pass it via `include_str!`): every `cc <seed>` line adds
+    /// one case replayed before fresh generation, exactly like proptest's
+    /// own `.proptest-regressions` handling.
+    pub fn regressions(mut self, file_contents: &str) -> Self {
+        for line in file_contents.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("cc ") {
+                let tok = rest.split_whitespace().next().unwrap_or("");
+                let seed = u64::from_str_radix(tok.trim_start_matches("0x"), 16)
+                    .unwrap_or_else(|_| panic!("bad regression seed {tok:?}"));
+                self.regressions.push(seed);
+            }
+        }
+        self
+    }
+
+    /// Run the property: generate a case from each seed with `gen`, check
+    /// it with `prop` (a panic is a failure). Regression cases run first,
+    /// then `cases` fresh ones derived from the base seed and the
+    /// property name.
+    pub fn run<T: std::fmt::Debug>(
+        &self,
+        generate: impl Fn(&mut XorShift64Star) -> T,
+        prop: impl Fn(&T),
+    ) {
+        let name_mix = fnv1a(self.name.as_bytes());
+        let fresh = (0..self.cases).map(|i| splitmix64(self.seed ^ name_mix ^ splitmix64(i)));
+        for (kind, case_seed) in self
+            .regressions
+            .iter()
+            .copied()
+            .map(|s| ("regression", s))
+            .chain(fresh.map(|s| ("fresh", s)))
+        {
+            let mut rng = XorShift64Star::new(case_seed);
+            let value = generate(&mut rng);
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| prop(&value))) {
+                eprintln!(
+                    "property '{}' failed on {kind} case seed (add to the \
+                     .proptest-regressions file to pin):\ncc {case_seed:016x}\nvalue: {value:#?}",
+                    self.name
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}

@@ -52,6 +52,16 @@ pub struct Stats {
     /// Virtual ns of in-flight operation time hidden behind other work
     /// (overlapped windows completed via [`Rank::overlap_complete`]).
     pub overlap_saved_ns: u64,
+    /// Virtual ns of schedule-derivation compute hidden behind other work
+    /// (windows opened with [`Rank::charge_pairs_overlapped`] and completed
+    /// via [`Rank::overlap_complete_derive`]). Kept separate from
+    /// [`Stats::overlap_saved_ns`] so I/O-pipelining and derive-overlap
+    /// savings can be attributed independently.
+    pub derive_overlap_saved_ns: u64,
+    /// High-water mark of buffer cycles concurrently active in the
+    /// collective engine's pipeline (1 = strictly serial). Recorded via
+    /// [`Rank::note_pipeline_depth`]; a watermark, not an accumulator.
+    pub pipeline_depth_used: u64,
 }
 
 impl Stats {
@@ -197,14 +207,48 @@ impl Rank {
     /// Returns the hidden ns, also accumulated in
     /// [`Stats::overlap_saved_ns`].
     pub fn overlap_complete(&self, w: OverlapWindow) -> u64 {
+        let hidden = self.finish_window(w);
+        self.stats.borrow_mut().overlap_saved_ns += hidden;
+        hidden
+    }
+
+    /// Advance to a window's completion, attribute the un-hidden remainder
+    /// to its phase, and return the hidden ns — shared by the two public
+    /// completion flavours, which differ only in which savings counter the
+    /// hidden time lands in.
+    fn finish_window(&self, w: OverlapWindow) -> u64 {
         let duration = w.duration();
         let remainder = w.done_at.saturating_sub(self.now());
         self.advance_to(w.done_at);
-        let mut s = self.stats.borrow_mut();
-        s.phase_ns[w.phase as usize] += remainder;
-        let hidden = duration - remainder;
-        s.overlap_saved_ns += hidden;
+        self.stats.borrow_mut().phase_ns[w.phase as usize] += remainder;
+        duration - remainder
+    }
+
+    /// Open an overlapped window for the processing of `n` offset/length
+    /// pairs: the pairs are counted immediately (the derivation work is
+    /// logically done the moment the window opens, like a non-blocking
+    /// file op's data movement), but the clock does not move — the
+    /// compute time is pending until [`Rank::overlap_complete_derive`],
+    /// so exchange or I/O performed in between hides it.
+    pub fn charge_pairs_overlapped(&self, n: u64) -> OverlapWindow {
+        self.stats.borrow_mut().pairs_processed += n;
+        OverlapWindow { issued_at: self.now(), done_at: self.now() + self.cost().pairs_ns(n), phase: Phase::Compute }
+    }
+
+    /// Complete a window opened with [`Rank::charge_pairs_overlapped`]:
+    /// identical accounting to [`Rank::overlap_complete`] except the
+    /// hidden ns accumulate in [`Stats::derive_overlap_saved_ns`].
+    pub fn overlap_complete_derive(&self, w: OverlapWindow) -> u64 {
+        let hidden = self.finish_window(w);
+        self.stats.borrow_mut().derive_overlap_saved_ns += hidden;
         hidden
+    }
+
+    /// Record that `depth` buffer cycles were concurrently active in the
+    /// engine's pipeline; keeps the per-rank high-water mark.
+    pub fn note_pipeline_depth(&self, depth: u64) {
+        let mut s = self.stats.borrow_mut();
+        s.pipeline_depth_used = s.pipeline_depth_used.max(depth);
     }
 
     /// Record a flatten-cache probe outcome.
@@ -850,6 +894,130 @@ mod tests {
         assert_eq!(s.overlap_saved_ns, 0);
         assert_eq!(s.phase_ns[Phase::Io as usize], 5_000);
         assert_eq!(s.overlap_saved_us(), 0);
+    }
+
+    #[test]
+    fn derive_overlap_separate_counter() {
+        // A derive window hides behind comm work: pairs are counted at
+        // begin, hidden time lands in derive_overlap_saved_ns (not
+        // overlap_saved_ns), and phase buckets still sum to elapsed.
+        let out = run(1, CostModel::default(), |r| {
+            let w = r.charge_pairs_overlapped(100); // 12_000 ns pending
+            assert_eq!(r.stats().pairs_processed, 100);
+            r.advance(5_000);
+            r.note_phase(Phase::Comm, 5_000);
+            let hidden = r.overlap_complete_derive(w);
+            (r.now(), hidden, r.stats())
+        });
+        let (now, hidden, s) = &out[0];
+        assert_eq!(*now, 12_000);
+        assert_eq!(*hidden, 5_000);
+        assert_eq!(s.derive_overlap_saved_ns, 5_000);
+        assert_eq!(s.overlap_saved_ns, 0);
+        assert_eq!(s.phase_ns[Phase::Compute as usize], 7_000);
+        assert_eq!(s.phase_ns.iter().sum::<u64>(), *now);
+    }
+
+    #[test]
+    fn derive_overlap_immediate_complete_matches_blocking() {
+        // begin + complete with no interleaved work must equal a plain
+        // charge_pairs call, charge for charge.
+        let out = run(1, CostModel::default(), |r| {
+            let w = r.charge_pairs_overlapped(50);
+            let hidden = r.overlap_complete_derive(w);
+            (r.now(), hidden, r.stats())
+        });
+        let blocking = run(1, CostModel::default(), |r| {
+            r.charge_pairs(50);
+            (r.now(), 0u64, r.stats())
+        });
+        let ((now, hidden, s), (bnow, _, bs)) = (&out[0], &blocking[0]);
+        assert_eq!(now, bnow);
+        assert_eq!(*hidden, 0);
+        assert_eq!(s.pairs_processed, bs.pairs_processed);
+        assert_eq!(s.phase_ns, bs.phase_ns);
+        assert_eq!(s.derive_overlap_saved_ns, 0);
+    }
+
+    #[test]
+    fn pipeline_depth_is_a_watermark() {
+        let out = run(1, CostModel::default(), |r| {
+            r.note_pipeline_depth(2);
+            r.note_pipeline_depth(5);
+            r.note_pipeline_depth(3);
+            r.stats().pipeline_depth_used
+        });
+        assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn overlap_interleavings_keep_phase_buckets_consistent() {
+        // Property (ISSUE 3 satellite): for arbitrary interleavings of
+        // charges, overlap_begin and (out-of-order) overlap_complete —
+        // including windows completed long after done_at and derive
+        // windows — the phase buckets always sum to elapsed virtual time,
+        // every window's hidden time is bounded by its duration, and the
+        // two savings counters equal the sums of their windows' hidden
+        // time (never underflowing).
+        crate::prop::Runner::new("overlap_interleavings").cases(64).run(
+            |rng| {
+                let n = 4 + rng.next_below(28);
+                (0..n).map(|_| (rng.next_u64(), rng.next_below(20_000))).collect::<Vec<_>>()
+            },
+            |ops| {
+                let ops = ops.clone();
+                run(1, CostModel::default(), move |r| {
+                    let mut open: Vec<(bool, OverlapWindow)> = Vec::new();
+                    let mut hidden_io = 0u64;
+                    let mut hidden_derive = 0u64;
+                    let mut rng = crate::prng::XorShift64Star::new(ops.len() as u64 + 1);
+                    let mut complete_one =
+                        |open: &mut Vec<(bool, OverlapWindow)>, r: &Rank, io: &mut u64, de: &mut u64| {
+                            if open.is_empty() {
+                                return;
+                            }
+                            let idx = rng.next_below(open.len() as u64) as usize;
+                            let (is_derive, w) = open.swap_remove(idx);
+                            let dur = w.duration();
+                            let hidden = if is_derive {
+                                r.overlap_complete_derive(w)
+                            } else {
+                                r.overlap_complete(w)
+                            };
+                            assert!(hidden <= dur, "hidden {hidden} exceeds duration {dur}");
+                            if is_derive {
+                                *de += hidden;
+                            } else {
+                                *io += hidden;
+                            }
+                        };
+                    for &(sel, amt) in &ops {
+                        match sel % 6 {
+                            0 => r.charge_pairs(1 + amt / 256),
+                            1 => r.charge_memcpy(1 + amt),
+                            2 => {
+                                r.advance(amt);
+                                r.note_phase(Phase::Comm, amt);
+                            }
+                            3 => open.push((false, r.overlap_begin(r.now() + amt, Phase::Io))),
+                            4 => open.push((true, r.charge_pairs_overlapped(amt / 64))),
+                            _ => complete_one(&mut open, r, &mut hidden_io, &mut hidden_derive),
+                        }
+                    }
+                    while !open.is_empty() {
+                        complete_one(&mut open, r, &mut hidden_io, &mut hidden_derive);
+                    }
+                    let s = r.stats();
+                    assert_eq!(
+                        s.phase_ns.iter().sum::<u64>(),
+                        r.now(),
+                        "phase buckets must sum to elapsed virtual time"
+                    );
+                    assert_eq!(s.overlap_saved_ns, hidden_io);
+                    assert_eq!(s.derive_overlap_saved_ns, hidden_derive);
+                });
+            },
+        );
     }
 
     #[test]

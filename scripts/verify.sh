@@ -1,9 +1,21 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build + test, fully offline (no external crates).
 # Run from the repository root: sh scripts/verify.sh
+#
+# --thorough additionally re-runs the test suite with 512 property-test
+# cases per property (the in-repo harness in flexio_sim::prop honours
+# PROPTEST_CASES), for a nightly-ish deeper sweep.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+THOROUGH=0
+for arg in "$@"; do
+  case "$arg" in
+    --thorough) THOROUGH=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo build --release --offline =="
 cargo build --release --offline
@@ -13,5 +25,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo test -q --release --offline =="
 cargo test -q --release --offline
+
+if [ "$THOROUGH" = 1 ]; then
+  echo "== PROPTEST_CASES=512 cargo test -q --release --offline (property sweep) =="
+  PROPTEST_CASES=512 cargo test -q --release --offline
+fi
 
 echo "== tier-1 verification passed =="
