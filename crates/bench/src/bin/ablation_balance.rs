@@ -46,7 +46,7 @@ fn time_one(nprocs: usize, cluster: u64, straggler: u64, assigner: Arc<dyn Realm
             f.write_all(&data, &Datatype::bytes(cluster), 1).unwrap();
             elapsed = rank.now() - t0;
         }
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(elapsed)
     });
     out[0]

@@ -43,7 +43,7 @@ fn run_once(spec: HpioSpec, hints: &Hints, path: &str) -> Sample {
         let t0 = rank.now();
         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
         let elapsed = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         let s = rank.stats();
         (
             rank.allreduce_max(elapsed),
@@ -54,7 +54,7 @@ fn run_once(spec: HpioSpec, hints: &Hints, path: &str) -> Sample {
     });
     let h = pfs.open(path, usize::MAX - 1);
     let mut image = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut image);
+    h.read(0, 0, &mut image).unwrap();
     Sample {
         ns: out[0].0,
         hidden: out.iter().map(|(_, h, _, _)| h).sum(),

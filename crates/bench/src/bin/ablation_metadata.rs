@@ -21,7 +21,7 @@ fn measure(spec: HpioSpec, engine: Engine, style: TypeStyle) -> (u64, u64) {
         f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
         let buf = spec.make_buffer(rank.rank());
         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-        f.close();
+        f.close().unwrap();
         let s = rank.stats();
         (s.bytes_sent, s.pairs_processed)
     });

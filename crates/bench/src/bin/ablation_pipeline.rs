@@ -32,14 +32,14 @@ fn run_once(spec: HpioSpec, hints: &Hints, path: &str) -> (u64, u64, Vec<u8>) {
         let t0 = rank.now();
         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
         let elapsed = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         (rank.allreduce_max(elapsed), rank.stats().overlap_saved_ns)
     });
     let slowest = out[0].0;
     let hidden: u64 = out.iter().map(|(_, h)| h).sum();
     let h = pfs.open(path, usize::MAX - 1);
     let mut image = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut image);
+    h.read(0, 0, &mut image).unwrap();
     (slowest, hidden, image)
 }
 

@@ -31,7 +31,7 @@ fn read_ns(pfs: &Arc<Pfs>, spec: HpioSpec, style: TypeStyle, hints: &Hints) -> u
                 assert_eq!(buf[pos as usize], want[pos as usize], "read verify failed");
             }
         }
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(elapsed)
     });
     out[0]
@@ -76,7 +76,7 @@ fn main() {
                         f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
                         let buf = spec.make_buffer(rank.rank());
                         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-                        f.close();
+                        f.close().unwrap();
                     });
                 }
                 read_ns(&pfs, spec, *style, &hints)

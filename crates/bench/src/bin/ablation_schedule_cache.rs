@@ -89,7 +89,7 @@ fn run_checkpoint(c: Ckpt, cache: bool) -> Outcome {
                 let ns = rank.allreduce_max(rank.now() - t0);
                 per_step.push((rank.stats().pairs_processed - p0, ns));
             }
-            f.close();
+            f.close().unwrap();
             per_step
         }
     });
@@ -99,7 +99,7 @@ fn run_checkpoint(c: Ckpt, cache: bool) -> Outcome {
     let ns_per_step = (0..STEPS as usize).map(|s| per_rank[0][s].1).collect();
     let h = pfs.open("ckpt", usize::MAX - 1);
     let mut image = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut image);
+    h.read(0, 0, &mut image).unwrap();
     Outcome { pairs_per_step, ns_per_step, image }
 }
 

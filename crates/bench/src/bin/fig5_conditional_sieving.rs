@@ -69,7 +69,7 @@ fn main() {
                     let mut off = 0u64;
                     while off < file_bytes {
                         let n = chunk.len().min((file_bytes - off) as usize);
-                        h.write(0, off, &chunk[..n]);
+                        h.write(0, off, &chunk[..n]).unwrap();
                         off += n as u64;
                     }
                     hpio_collective_write_ns(&pfs, spec, TypeStyle::Succinct, &hints, "fig5")

@@ -50,7 +50,7 @@ fn main() {
             let mut off = 0u64;
             while off < total_span {
                 let n = chunk.len().min((total_span - off) as usize);
-                h.write(0, off, &chunk[..n]);
+                h.write(0, off, &chunk[..n]).unwrap();
                 off += n as u64;
             }
             let t = hpio_collective_write_ns(&pfs, spec, TypeStyle::Succinct, &hints, "spike");

@@ -43,7 +43,7 @@ fn time_one(spec: TimeStepSpec, pfr: bool, align: bool, stripe: u64) -> u64 {
             f.write_all(&buf, &Datatype::bytes(n.max(1)), (n > 0) as u64).unwrap();
         }
         let elapsed = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(elapsed)
     });
     out[0]

@@ -91,7 +91,7 @@ pub fn hpio_collective_write_ns(
         let t0 = rank.now();
         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
         let elapsed = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(elapsed)
     });
     out[0]

@@ -1,7 +1,91 @@
 //! Machinery shared by both two-phase engines.
 
 use crate::meta::ClientAccess;
+use flexio_pfs::{PfsError, PfsErrorKind};
+use flexio_sim::Rank;
 use flexio_types::ViewCursor;
+
+/// Integer exponential moving average with α = 1/4: `None` seeds with the
+/// first sample, after which each update moves a quarter of the way to the
+/// new value. Used to smooth per-cycle I/O and exchange durations so one
+/// outlier cycle (a straggling OST, a cold lock) doesn't whipsaw the
+/// pipeline depth or the straggler detector.
+pub fn ewma(prev: Option<u64>, x: u64) -> u64 {
+    match prev {
+        None => x,
+        Some(e) => (3 * e + x) / 4,
+    }
+}
+
+/// Drive one idempotent file-system request through the retry loop:
+/// reissue a transiently failed request up to `hints.io_retries` times,
+/// each attempt preceded by an exponentially doubling backoff charged in
+/// virtual time (`flexio_retry_backoff_us << attempt`). The fault model
+/// guarantees requests move their data even when the request itself fails
+/// (server committed, reply lost), so a reissue only re-pays the virtual
+/// window. `op` takes the attempt's start time and returns the completion
+/// time or a fault stamped with the would-be completion time. Returns the
+/// final clock and the last error if every attempt failed.
+pub fn retry_io(
+    rank: &Rank,
+    hints: &crate::hints::Hints,
+    start: u64,
+    mut op: impl FnMut(u64) -> Result<u64, PfsError>,
+) -> (u64, Option<PfsError>) {
+    let mut t = start;
+    let mut attempt = 0u32;
+    loop {
+        match op(t) {
+            Ok(done) => return (done, None),
+            Err(e) if attempt >= hints.io_retries => return (e.at, Some(e)),
+            Err(e) => {
+                let backoff = hints
+                    .retry_backoff_us
+                    .saturating_mul(1000)
+                    .saturating_mul(1u64 << attempt.min(32));
+                t = e.at.saturating_add(backoff);
+                rank.note_io_retry();
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Collectively agree on the outcome of a collective call after retries
+/// are exhausted. Every rank contributes its local verdict (`None` =
+/// success); every rank returns the *same* `Option<PfsError>` — the
+/// lowest-ranked reporter's error wins, stamped with that reporter's
+/// failure time — so a faulted collective can never hang some ranks or
+/// split the world between `Ok` and `Err`.
+///
+/// Two `allreduce_min` rounds: the first elects the winning error (success
+/// encodes as `u64::MAX`, an error as `rank << 32 | ost << 8 | kind`, so
+/// the minimum is a concrete reporter), the second carries the winner's
+/// failure timestamp.
+pub fn agree_error(rank: &Rank, local: Option<PfsError>) -> Option<PfsError> {
+    let kind_code = |k: PfsErrorKind| match k {
+        PfsErrorKind::TransientOst => 1u64,
+    };
+    let mine = match &local {
+        Some(e) => ((rank.rank() as u64) << 32) | ((e.ost as u64 & 0xff_ffff) << 8) | kind_code(e.kind),
+        None => u64::MAX,
+    };
+    let winner = rank.allreduce_min(mine);
+    if winner == u64::MAX {
+        return None;
+    }
+    let at_vote = if mine == winner {
+        local.expect("winning encoding implies a local error").at
+    } else {
+        u64::MAX
+    };
+    let at = rank.allreduce_min(at_vote);
+    let kind = match winner & 0xff {
+        1 => PfsErrorKind::TransientOst,
+        c => unreachable!("unknown agreed fault kind code {c}"),
+    };
+    Some(PfsError { kind, ost: ((winner >> 8) & 0xff_ffff) as usize, at })
+}
 
 /// One piece of a client's access that falls in an aggregator's window:
 /// a contiguous file run plus its position in the client's data space.
@@ -272,6 +356,39 @@ mod tests {
         let window = [(0u64, 10u64), (20, 10), (40, 10)];
         let segs = [(42u64, 3u64)];
         assert_eq!(group_by_window(&segs, &window), vec![(2, vec![(42, 3)])]);
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        assert_eq!(ewma(None, 100), 100);
+        assert_eq!(ewma(Some(100), 100), 100);
+        assert_eq!(ewma(Some(100), 200), 125);
+        assert_eq!(ewma(Some(200), 0), 150);
+        assert_eq!(ewma(Some(0), 0), 0);
+    }
+
+    #[test]
+    fn agree_error_unanimous_success() {
+        let outcomes = flexio_sim::run(4, flexio_sim::CostModel::default(), |rank| {
+            agree_error(rank, None)
+        });
+        assert!(outcomes.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn agree_error_lowest_rank_wins_everywhere() {
+        let outcomes = flexio_sim::run(4, flexio_sim::CostModel::default(), |rank| {
+            // Ranks 1 and 3 fail locally with different errors; all four
+            // must agree on rank 1's.
+            let local = match rank.rank() {
+                1 => Some(PfsError { kind: PfsErrorKind::TransientOst, ost: 5, at: 777 }),
+                3 => Some(PfsError { kind: PfsErrorKind::TransientOst, ost: 9, at: 111 }),
+                _ => None,
+            };
+            agree_error(rank, local)
+        });
+        let expect = PfsError { kind: PfsErrorKind::TransientOst, ost: 5, at: 777 };
+        assert!(outcomes.iter().all(|o| *o == Some(expect)), "{outcomes:?}");
     }
 
     #[test]

@@ -18,17 +18,20 @@
 //! * **Exchange flavour** (§5.4): sparse non-blocking, or a dense
 //!   alltoallw-style collective that skips pack/unpack copies.
 
-use crate::engine::common::{group_by_window, merge_pieces, ClientStream, Piece, PlanEntry};
+use crate::engine::common::{
+    agree_error, ewma, group_by_window, merge_pieces, retry_io, ClientStream, Piece, PlanEntry,
+};
 use crate::engine::schedule::{self, schedule_key, CycleSchedule, ExchangeSchedule};
-use crate::error::Result;
+use crate::error::{IoError, Result};
 use crate::hints::{aggregator_ranks, ExchangeMode, Hints, PipelineDepth};
 use crate::meta::ClientAccess;
 use crate::realm::{AssignCtx, EvenAar, FileRealm, PersistentBlockCyclic, RealmAssigner};
 use flexio_io::{read_packed_nb, resolve, write_packed_nb, IoCompletion, Resolved};
-use flexio_pfs::FileHandle;
+use flexio_pfs::{FileHandle, NbGuard, PfsError};
 use flexio_sim::{OverlapWindow, Phase, Rank};
-use flexio_types::MemLayout;
+use flexio_types::{FlatType, MemLayout, Seg};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Most in-flight completion windows any pipeline keeps (depth − 1). Past
 /// eight buffers the exchange can't keep even one OST busy per extra
@@ -194,18 +197,205 @@ pub fn run(
         }
     }
     let charge_cycles = !hit && !derive_overlap;
-    if is_write {
-        run_write(rank, handle, my, mem, &buf, hints, sched, charge_cycles, policy, derive_win);
+    let n_agg = sched.agg_ranks.len();
+    let outcome = if is_write {
+        run_write(rank, handle, my, mem, &buf, hints, sched, charge_cycles, policy, derive_win)
     } else {
-        run_read(rank, handle, my, mem, &mut buf, hints, sched, charge_cycles, policy, derive_win);
-    }
+        run_read(rank, handle, my, mem, &mut buf, hints, sched, charge_cycles, policy, derive_win)
+    };
 
     if hints.schedule_cache {
         if let Some(s) = derived {
             *sched_cache = Some(s);
         }
     }
+
+    // ---- graceful degradation -------------------------------------------
+    // Every rank ran the same straggler detector over the same allgathered
+    // durations, so the rebalance decision is already collective. Shrink
+    // the straggling aggregator's persistent realms so later calls steer
+    // work to its healthy peers; the cached schedule replays the old
+    // ownership (realms are not part of the schedule key), so it must go.
+    if let Some((si, helper)) = outcome.straggler {
+        if hints.persistent_file_realms && n_agg >= 2 {
+            if let Some(new_realms) =
+                pfr_state.as_deref().and_then(|r| rebalance_realms(r, si, helper, hints))
+            {
+                *pfr_state = Some(new_realms);
+                *sched_cache = None;
+                rank.note_realms_rebalanced();
+            }
+        }
+    }
+
+    // ---- collective error agreement -------------------------------------
+    // Gated on the fault plan's presence: without one no request can fail
+    // (keeping fault-free runs charge-identical), and with one every rank
+    // sees the same plan, so all ranks take this branch together.
+    if handle.pfs().fault_plan().is_some() {
+        if let Some(e) = agree_error(rank, outcome.err) {
+            return Err(IoError::Transient(e));
+        }
+    } else {
+        debug_assert!(outcome.err.is_none(), "a fault was reported without a fault plan");
+    }
     Ok(())
+}
+
+/// What one engine pass reports back to [`run`] beyond its data movement:
+/// the first retry-exhausted fault (fed to the error agreement) and the
+/// `(straggler, helper)` aggregator pair the EWMA detector converged on,
+/// if any.
+#[derive(Debug, Default)]
+struct CycleOutcome {
+    err: Option<PfsError>,
+    straggler: Option<(usize, usize)>,
+}
+
+/// Tracks per-aggregator smoothed I/O durations across buffer cycles and
+/// flags a straggler. Runs only under a fault plan: each cycle, every rank
+/// allgathers its local I/O duration (clients contribute 0), feeds the
+/// aggregators' samples into per-aggregator EWMAs, and — because everyone
+/// folds the same data — reaches the same verdict with no extra
+/// agreement round.
+struct StragglerDetector {
+    agg_ewma: Vec<Option<u64>>,
+}
+
+impl StragglerDetector {
+    fn new(n_agg: usize) -> StragglerDetector {
+        StragglerDetector { agg_ewma: vec![None; n_agg] }
+    }
+
+    /// Fold one cycle's allgathered durations; returns the straggling
+    /// aggregator and its least-loaded peer if one now stands out.
+    fn observe(
+        &mut self,
+        rank: &Rank,
+        agg_ranks: &[usize],
+        my_io_ns: u64,
+    ) -> Option<(usize, usize)> {
+        let durs = rank.allgatherv(&my_io_ns.to_le_bytes());
+        for (a, &ar) in agg_ranks.iter().enumerate() {
+            let d = u64::from_le_bytes(
+                durs[ar][..8].try_into().expect("duration payload must be 8 bytes"),
+            );
+            if d > 0 {
+                self.agg_ewma[a] = Some(ewma(self.agg_ewma[a], d));
+            }
+        }
+        self.straggler()
+    }
+
+    /// The aggregator whose smoothed I/O time is more than twice the mean
+    /// of its peers' (strict, so a clean 2:1 split does not churn; needs
+    /// ≥ 2 aggregators with samples; first index wins ties,
+    /// deterministically), paired with the least-loaded peer — the best
+    /// place for the rebalancer to move realm bytes to.
+    fn straggler(&self) -> Option<(usize, usize)> {
+        let known: Vec<(usize, u64)> =
+            self.agg_ewma.iter().enumerate().filter_map(|(i, e)| e.map(|v| (i, v))).collect();
+        if known.len() < 2 {
+            return None;
+        }
+        let (mut mi, mut mv) = known[0];
+        for &(i, v) in &known[1..] {
+            if v > mv {
+                (mi, mv) = (i, v);
+            }
+        }
+        let others: u64 = known.iter().filter(|&&(i, _)| i != mi).map(|&(_, v)| v).sum();
+        let avg = others / (known.len() as u64 - 1);
+        if avg == 0 || mv <= 2 * avg {
+            return None;
+        }
+        let (mut hi, mut hv) = (usize::MAX, u64::MAX);
+        for &(i, v) in &known {
+            if i != mi && v < hv {
+                (hi, hv) = (i, v);
+            }
+        }
+        Some((mi, hi))
+    }
+}
+
+/// Rebuild the persistent block-cyclic realms with the straggler's largest
+/// per-period run halved and the freed bytes handed to `helper` (the
+/// detector's least-loaded aggregator, so repeated rebalances spread a
+/// slow realm over many peers instead of piling it onto one neighbour).
+/// The realm *period* is unchanged, so the realms still tile the whole
+/// file and stay pairwise disjoint; only the ownership split inside each
+/// period moves. Deterministic given the same inputs, so every rank
+/// rebuilds identical realms without communicating. `None` when nothing
+/// meaningful can move (non-tiled realms, or the straggler's share is
+/// already below one alignment unit).
+fn rebalance_realms(
+    old: &[FileRealm],
+    straggler: usize,
+    helper: usize,
+    hints: &Hints,
+) -> Option<Vec<FileRealm>> {
+    let mut shares: Vec<Vec<(u64, u64)>> = Vec::with_capacity(old.len());
+    let mut period = 0u64;
+    for r in old {
+        let (segs, p) = r.tile()?;
+        if period == 0 {
+            period = p;
+        } else if period != p {
+            return None; // custom assigner with mismatched tilings
+        }
+        shares.push(segs);
+    }
+    // Halve the straggler's largest run (first wins ties, so every rank
+    // picks the same one), keeping the front half aligned when a boundary
+    // alignment is hinted.
+    let (mut idx, mut s_len) = (0usize, 0u64);
+    for (i, &(_, l)) in shares[straggler].iter().enumerate() {
+        if l > s_len {
+            (idx, s_len) = (i, l);
+        }
+    }
+    let s_off = shares[straggler].get(idx)?.0;
+    let mut keep = s_len / 2;
+    if let Some(al) = hints.fr_alignment {
+        keep = keep / al * al;
+    }
+    if keep == 0 {
+        return None;
+    }
+    shares[straggler][idx] = (s_off, keep);
+    shares[helper].push((s_off + keep, s_len - keep));
+    shares[helper].sort_unstable();
+    Some(
+        shares
+            .into_iter()
+            .map(|segs| {
+                // Merge runs the handoff made adjacent.
+                let mut merged: Vec<(u64, u64)> = Vec::with_capacity(segs.len());
+                for (o, l) in segs {
+                    match merged.last_mut() {
+                        Some(last) if last.0 + last.1 == o => last.1 += l,
+                        _ => merged.push((o, l)),
+                    }
+                }
+                let size: u64 = merged.iter().map(|(_, l)| l).sum();
+                let mut prefix = vec![0u64];
+                for &(_, l) in &merged {
+                    prefix.push(prefix.last().unwrap() + l);
+                }
+                let pattern = FlatType {
+                    segs: merged.iter().map(|&(o, l)| Seg::new(o as i64, l)).collect(),
+                    lb: 0,
+                    extent: period,
+                    size,
+                    monotonic: true,
+                    contiguous: merged.len() <= 1,
+                    prefix,
+                };
+                FileRealm::tiled(Arc::new(pattern), 0)
+            })
+            .collect(),
+    )
 }
 
 /// Derive the full per-cycle exchange schedule for one collective call,
@@ -451,9 +641,12 @@ fn exchange_write(
 }
 
 /// Issue half of a write cycle: commit the assembled collective buffer to
-/// the file with nonblocking requests. Returns the virtual window the I/O
-/// occupies; the caller decides whether to block on it (serial engine) or
-/// overlap it (pipelined engine).
+/// the file with nonblocking requests, retrying transient faults per
+/// realm chunk. Returns the virtual window the I/O occupies — carrying
+/// the first retry-exhausted fault, if any; the caller decides whether to
+/// block on it (serial engine) or overlap it (pipelined engine). Every
+/// chunk is issued even after an exhausted one, so all data that *can*
+/// land does, and the error agreement sees one deterministic first fault.
 fn issue_write(
     rank: &Rank,
     handle: &FileHandle,
@@ -465,6 +658,7 @@ fn issue_write(
     // a realm boundary (the gap would belong to another aggregator).
     let t0 = rank.now();
     let mut t = t0;
+    let mut err: Option<PfsError> = None;
     let mut pos = 0usize;
     for (wi, group) in group_by_window(&stage.segs, window) {
         let glen: u64 = group.iter().map(|(_, l)| l).sum();
@@ -472,24 +666,27 @@ fn issue_write(
         // Lock the whole realm chunk (as ROMIO locks the sieve extent).
         // Realm chunks are stable across calls under persistent file
         // realms, so the lock is acquired once and reused.
-        t = handle.lock_range(t, window[wi].0, window[wi].1);
+        match handle.lock_range(t, window[wi].0, window[wi].1) {
+            Ok(nt) => t = nt,
+            Err(e) => {
+                t = e.at;
+                err = err.or(Some(e));
+            }
+        }
         // Double buffering (§5.1/§6.2): sieving beneath the collective
         // buffer copies once more, collective buffer -> sieve buffer.
         if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
             rank.charge_memcpy(glen);
         }
-        t = write_packed_nb(
-            handle,
-            t,
-            &group,
-            &stage.packed[pos..pos + glen as usize],
-            &hints.io_method,
-            period,
-        )
-        .done_at();
+        let data = &stage.packed[pos..pos + glen as usize];
+        let (nt, e) = retry_io(rank, hints, t, |at| {
+            write_packed_nb(handle, at, &group, data, &hints.io_method, period).into_result()
+        });
+        t = nt;
+        err = err.or(e);
         pos += glen as usize;
     }
-    IoCompletion::span(t0, t)
+    IoCompletion::span(t0, t).or_error(err)
 }
 
 /// Drive the write cycles as an N-deep software pipeline: up to `cap`
@@ -513,9 +710,17 @@ fn run_write(
     charge_cycles: bool,
     policy: CapPolicy,
     mut derive_win: Option<OverlapWindow>,
-) {
+) -> CycleOutcome {
     let mut cap = policy.initial_cap();
-    let mut inflight: VecDeque<OverlapWindow> = VecDeque::new();
+    let mut inflight: VecDeque<(OverlapWindow, NbGuard)> = VecDeque::new();
+    let mut outcome = CycleOutcome::default();
+    // Smoothed I/O and exchange durations feeding the auto depth policy:
+    // one fast or slow cycle no longer swings the cap to its own ratio.
+    let (mut ewma_io, mut ewma_exch) = (None, None);
+    // Straggler watch, only when faults can exist (the allgather would
+    // otherwise break fault-free charge identity).
+    let watch = handle.pfs().fault_plan().is_some() && sched.agg_ranks.len() >= 2;
+    let mut detector = StragglerDetector::new(sched.agg_ranks.len());
     for (i, cyc) in sched.cycles.iter().enumerate() {
         if charge_cycles {
             rank.charge_pairs(cyc.pairs);
@@ -533,13 +738,17 @@ fn run_write(
             }
         }
         // All cap+1 collective buffers are full once the next exchange has
-        // run: drain the oldest in-flight I/O before reusing its buffer.
+        // run: drain the oldest in-flight I/O before reusing its buffer
+        // (dropping its guard retires it from the handle's inflight tally).
         while inflight.len() >= cap.max(1) {
-            rank.overlap_complete(inflight.pop_front().expect("nonempty"));
-            handle.nb_retired();
+            let (w, _guard) = inflight.pop_front().expect("nonempty");
+            rank.overlap_complete(w);
         }
+        let mut cycle_io_ns = 0u64;
         if let Some(stage) = stage {
             let io = issue_write(rank, handle, hints, &cyc.my_window, &stage);
+            outcome.err = outcome.err.or(io.error());
+            cycle_io_ns = io.duration();
             if cap == 0 {
                 // Wait immediately. Begin/complete (rather than a raw
                 // advance + note) keeps the phase buckets summing to
@@ -549,22 +758,29 @@ fn run_write(
                 rank.overlap_complete(rank.overlap_begin(io.done_at(), Phase::Io));
                 rank.note_pipeline_depth(1);
             } else {
-                inflight.push_back(rank.overlap_begin(io.done_at(), Phase::Io));
-                handle.nb_issued();
+                inflight.push_back((rank.overlap_begin(io.done_at(), Phase::Io), handle.nb_issued()));
                 rank.note_pipeline_depth(inflight.len() as u64 + 1);
-                cap = policy.adapt(io.duration(), exch_ns);
+                ewma_io = Some(ewma(ewma_io, io.duration()));
+                ewma_exch = Some(ewma(ewma_exch, exch_ns));
+                cap = policy.adapt(ewma_io.unwrap_or(0), ewma_exch.unwrap_or(0));
+            }
+        }
+        if watch {
+            if let Some(si) = detector.observe(rank, &sched.agg_ranks, cycle_io_ns) {
+                rank.note_degraded_cycle();
+                outcome.straggler = Some(si);
             }
         }
         // If Auto just lowered the cap, fall back to it right away.
         while inflight.len() > cap {
-            rank.overlap_complete(inflight.pop_front().expect("nonempty"));
-            handle.nb_retired();
+            let (w, _guard) = inflight.pop_front().expect("nonempty");
+            rank.overlap_complete(w);
         }
     }
-    for w in inflight {
+    for (w, _guard) in inflight {
         rank.overlap_complete(w);
-        handle.nb_retired();
     }
+    outcome
 }
 
 /// One read cycle's collective buffer, read from the file and awaiting
@@ -599,26 +815,30 @@ fn issue_read(
     let mut packed = vec![0u8; total as usize];
     let t0 = rank.now();
     let mut t = t0;
+    let mut err: Option<PfsError> = None;
     let mut pos = 0usize;
     for (wi, group) in group_by_window(&segs, window) {
         let glen: u64 = group.iter().map(|(_, l)| l).sum();
         let period = group_period(&group);
-        t = handle.lock_range(t, window[wi].0, window[wi].1);
+        match handle.lock_range(t, window[wi].0, window[wi].1) {
+            Ok(nt) => t = nt,
+            Err(e) => {
+                t = e.at;
+                err = err.or(Some(e));
+            }
+        }
         if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
             rank.charge_memcpy(glen); // sieve buffer -> collective buffer
         }
-        t = read_packed_nb(
-            handle,
-            t,
-            &group,
-            &mut packed[pos..pos + glen as usize],
-            &hints.io_method,
-            period,
-        )
-        .done_at();
+        let dst = &mut packed[pos..pos + glen as usize];
+        let (nt, e) = retry_io(rank, hints, t, |at| {
+            read_packed_nb(handle, at, &group, dst, &hints.io_method, period).into_result()
+        });
+        t = nt;
+        err = err.or(e);
         pos += glen as usize;
     }
-    Some((IoCompletion::span(t0, t), ReadStage { entries, packed }))
+    Some((IoCompletion::span(t0, t).or_error(err), ReadStage { entries, packed }))
 }
 
 /// Distribute half of a read cycle: the aggregator slices its collective
@@ -723,26 +943,31 @@ fn run_read(
     charge_cycles: bool,
     policy: CapPolicy,
     mut derive_win: Option<OverlapWindow>,
-) {
+) -> CycleOutcome {
     let n = sched.cycles.len();
     let mut cap = policy.initial_cap();
-    // Prefetched reads: (cycle index, overlap window, filled stage), in
-    // cycle order. `next` is the first cycle not yet issued.
-    let mut q: VecDeque<(usize, OverlapWindow, ReadStage)> = VecDeque::new();
+    // Prefetched reads: (cycle index, overlap window, filled stage, nb
+    // guard), in cycle order. `next` is the first cycle not yet issued.
+    let mut q: VecDeque<(usize, OverlapWindow, ReadStage, NbGuard)> = VecDeque::new();
     let mut next = 0usize;
     // The previous cycle's distribute duration — the exchange-side work a
     // prefetched read hides behind.
     let mut exch_ns = 0u64;
+    let mut outcome = CycleOutcome::default();
+    let (mut ewma_io, mut ewma_exch) = (None, None);
+    let watch = handle.pfs().fault_plan().is_some() && sched.agg_ranks.len() >= 2;
+    let mut detector = StragglerDetector::new(sched.agg_ranks.len());
     for i in 0..n {
         if charge_cycles {
             rank.charge_pairs(sched.cycles[i].pairs);
         }
-        let stage = if q.front().is_some_and(|(c, _, _)| *c == i) {
+        let mut cycle_io_ns = 0u64;
+        let stage = if q.front().is_some_and(|(c, _, _, _)| *c == i) {
             // This cycle's read was prefetched; its window has been
-            // overlapping the distributions since. Drain it now.
-            let (_, w, stage) = q.pop_front().expect("nonempty");
+            // overlapping the distributions since. Drain it now (the
+            // guard drop retires it from the handle's inflight tally).
+            let (_, w, stage, _guard) = q.pop_front().expect("nonempty");
             rank.overlap_complete(w);
-            handle.nb_retired();
             Some(stage)
         } else {
             // Fill (or serial path, or an idle cycle between prefetches):
@@ -752,6 +977,8 @@ fn run_read(
                 Some((io, stage)) => {
                     // Immediate begin/complete, not advance + note: see
                     // the serial write path.
+                    outcome.err = outcome.err.or(io.error());
+                    cycle_io_ns += io.duration();
                     rank.overlap_complete(rank.overlap_begin(io.done_at(), Phase::Io));
                     rank.note_pipeline_depth(1);
                     Some(stage)
@@ -778,16 +1005,26 @@ fn run_read(
                 &sched.cycles[next].my_window,
                 &sched.cycles[next].agg_pieces,
             ) {
-                q.push_back((next, rank.overlap_begin(io.done_at(), Phase::Io), stage));
-                handle.nb_issued();
+                outcome.err = outcome.err.or(io.error());
+                cycle_io_ns += io.duration();
+                q.push_back((next, rank.overlap_begin(io.done_at(), Phase::Io), stage, handle.nb_issued()));
                 rank.note_pipeline_depth(q.len() as u64 + 1);
-                cap = policy.adapt(io.duration(), exch_ns);
+                ewma_io = Some(ewma(ewma_io, io.duration()));
+                ewma_exch = Some(ewma(ewma_exch, exch_ns));
+                cap = policy.adapt(ewma_io.unwrap_or(0), ewma_exch.unwrap_or(0));
             }
             next += 1;
+        }
+        if watch {
+            if let Some(si) = detector.observe(rank, &sched.agg_ranks, cycle_io_ns) {
+                rank.note_degraded_cycle();
+                outcome.straggler = Some(si);
+            }
         }
         let dist_t0 = rank.now();
         distribute_read(rank, my, mem, buf, hints, &sched.agg_ranks, &sched.cycles[i].my_pieces, stage);
         exch_ns = rank.now().saturating_sub(dist_t0);
     }
     debug_assert!(q.is_empty(), "a read stage was issued but never distributed");
+    outcome
 }

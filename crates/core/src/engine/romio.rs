@@ -12,12 +12,12 @@
 //!   buffer-to-file method cannot be changed, and gap data lives in the
 //!   collective buffer.
 
-use crate::engine::common::Piece;
+use crate::engine::common::{agree_error, retry_io, Piece};
 use crate::engine::flexible::DataBuf;
-use crate::error::Result;
+use crate::error::{IoError, Result};
 use crate::hints::{aggregator_ranks, Hints};
 use crate::meta::ClientAccess;
-use flexio_pfs::FileHandle;
+use flexio_pfs::{FileHandle, PfsError};
 use flexio_sim::{Phase, Rank};
 use flexio_types::MemLayout;
 
@@ -221,6 +221,8 @@ pub fn run(
     // Aggregator side: per-client index + split carry into received lists.
     let mut agg_idx = vec![0usize; nprocs];
     let mut agg_tail: Vec<Option<(u64, u64)>> = vec![None; nprocs];
+    // First retry-exhausted fault, fed to the error agreement afterwards.
+    let mut first_err: Option<PfsError> = None;
 
     for t in 0..ntimes {
         // Window per aggregator, in file space (the old code cycles over
@@ -288,15 +290,30 @@ pub fn run(
             }
         }
 
-        if is_write {
+        let cycle_err = if is_write {
             romio_cycle_write(
-                rank, handle, my, mem, &buf, &agg_ranks, &my_cycle, &agg_cycle, my_agg_idx,
-            );
+                rank, handle, my, mem, &buf, hints, &agg_ranks, &my_cycle, &agg_cycle, my_agg_idx,
+            )
         } else {
             romio_cycle_read(
-                rank, handle, my, mem, &mut buf, &agg_ranks, &my_cycle, &agg_cycle, my_agg_idx,
-            );
+                rank, handle, my, mem, &mut buf, hints, &agg_ranks, &my_cycle, &agg_cycle,
+                my_agg_idx,
+            )
+        };
+        first_err = first_err.or(cycle_err);
+    }
+
+    // ---- collective error agreement ---------------------------------------
+    // Same gate as the flexible engine: a fault plan is the only source of
+    // request errors, and its presence is identical on every rank, so
+    // fault-free runs pay no extra communication and faulted runs always
+    // reach the same verdict together.
+    if handle.pfs().fault_plan().is_some() {
+        if let Some(e) = agree_error(rank, first_err) {
+            return Err(IoError::Transient(e));
         }
+    } else {
+        debug_assert!(first_err.is_none(), "a fault was reported without a fault plan");
     }
     Ok(())
 }
@@ -308,11 +325,12 @@ fn romio_cycle_write(
     my: &ClientAccess,
     mem: &MemLayout,
     buf: &DataBuf<'_>,
+    hints: &Hints,
     agg_ranks: &[usize],
     my_cycle: &[Vec<Piece>],
     agg_cycle: &[Vec<(u64, u64)>],
     my_agg_idx: Option<usize>,
-) {
+) -> Option<PfsError> {
     let user = match buf {
         DataBuf::Write(b) => *b,
         DataBuf::Read(_) => unreachable!(),
@@ -342,7 +360,7 @@ fn romio_cycle_write(
         .collect();
     let received = rank.exchange(&sends, &recv_from);
     if my_agg_idx.is_none() || recv_from.is_empty() {
-        return;
+        return None;
     }
 
     // Integrated sieve: single buffer spanning [blo, bhi).
@@ -359,11 +377,13 @@ fn romio_cycle_write(
     let span = bhi - blo;
     let mut cbuf = vec![0u8; span as usize];
     let holes = covered < span;
-    let mut t = rank.now();
+    let mut err: Option<PfsError> = None;
     if holes {
-        let t0 = t;
-        t = handle.read(t, blo, &mut cbuf);
-        rank.note_phase(Phase::Io, t - t0);
+        let t0 = rank.now();
+        let (nt, e) = retry_io(rank, hints, t0, |at| handle.read(at, blo, &mut cbuf));
+        err = err.or(e);
+        rank.advance_to(nt);
+        rank.note_phase(Phase::Io, nt - t0);
     }
     // Place every client's payload directly into the collective buffer
     // (this IS the sieve buffer: one copy total).
@@ -378,10 +398,12 @@ fn romio_cycle_write(
         }
     }
     rank.charge_memcpy(total_placed);
-    let t0 = t;
-    let t_done = handle.write(t, blo, &cbuf);
+    let t0 = rank.now();
+    let (t_done, e) = retry_io(rank, hints, t0, |at| handle.write(at, blo, &cbuf));
+    err = err.or(e);
     rank.advance_to(t_done);
     rank.note_phase(Phase::Io, t_done - t0);
+    err
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -391,12 +413,14 @@ fn romio_cycle_read(
     my: &ClientAccess,
     mem: &MemLayout,
     buf: &mut DataBuf<'_>,
+    hints: &Hints,
     agg_ranks: &[usize],
     my_cycle: &[Vec<Piece>],
     agg_cycle: &[Vec<(u64, u64)>],
     my_agg_idx: Option<usize>,
-) {
+) -> Option<PfsError> {
     // Aggregator: one sieving read of the spanning range, then slice.
+    let mut err: Option<PfsError> = None;
     let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
     if my_agg_idx.is_some() && agg_cycle.iter().any(|l| !l.is_empty()) {
         let mut blo = u64::MAX;
@@ -409,7 +433,8 @@ fn romio_cycle_read(
         }
         let mut cbuf = vec![0u8; (bhi - blo) as usize];
         let t0 = rank.now();
-        let t = handle.read(t0, blo, &mut cbuf);
+        let (t, e) = retry_io(rank, hints, t0, |at| handle.read(at, blo, &mut cbuf));
+        err = err.or(e);
         rank.advance_to(t);
         rank.note_phase(Phase::Io, t - t0);
         let mut total = 0u64;
@@ -452,4 +477,5 @@ fn romio_cycle_read(
         }
         rank.charge_memcpy(total);
     }
+    err
 }

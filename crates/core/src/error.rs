@@ -1,9 +1,15 @@
 //! Error types for the collective I/O layer.
 
+use flexio_pfs::PfsError;
 use flexio_types::ViewError;
 
 /// Errors surfaced by the MPI-IO-like API.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm, so
+/// future failure classes (new fault kinds, quota errors, …) are not a
+/// breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum IoError {
     /// Invalid file view (bad filetype).
     View(ViewError),
@@ -16,6 +22,13 @@ pub enum IoError {
     },
     /// A hint combination is invalid.
     BadHints(&'static str),
+    /// A transient PFS fault persisted through every configured retry
+    /// (`flexio_io_retries`); collectively agreed, so every rank of the
+    /// call returns the same error.
+    Transient(PfsError),
+    /// A PFS fault on a path with no retry loop (independent I/O,
+    /// close/sync flushes).
+    Pfs(PfsError),
 }
 
 impl From<ViewError> for IoError {
@@ -32,11 +45,20 @@ impl std::fmt::Display for IoError {
                 write!(f, "buffer too small: need {needed} bytes, got {got}")
             }
             IoError::BadHints(s) => write!(f, "bad hints: {s}"),
+            IoError::Transient(e) => write!(f, "retries exhausted: {e}"),
+            IoError::Pfs(e) => write!(f, "file system error: {e}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Transient(e) | IoError::Pfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, IoError>;
@@ -52,5 +74,18 @@ mod tests {
         let e = IoError::View(ViewError::EmptyFiletype);
         assert!(e.to_string().contains("filetype"));
         assert!(IoError::BadHints("x").to_string().contains("x"));
+        let pe = PfsError { kind: flexio_pfs::PfsErrorKind::TransientOst, ost: 2, at: 7 };
+        assert!(IoError::Transient(pe).to_string().contains("retries exhausted"));
+        assert!(IoError::Pfs(pe).to_string().contains("OST 2"));
+    }
+
+    #[test]
+    fn source_exposes_wrapped_pfs_error() {
+        use std::error::Error;
+        let pe = PfsError { kind: flexio_pfs::PfsErrorKind::TransientOst, ost: 1, at: 9 };
+        let e = IoError::Transient(pe);
+        let src = e.source().expect("wrapped error must be the source");
+        assert_eq!(src.downcast_ref::<PfsError>(), Some(&pe));
+        assert!(IoError::BadHints("x").source().is_none());
     }
 }

@@ -33,7 +33,7 @@ use std::sync::Arc;
 ///     f.set_view((rank.rank() * 64) as u64, &block, &ftype).unwrap();
 ///     let data = vec![rank.rank() as u8; 1024];
 ///     f.write_all(&data, &Datatype::bytes(1024), 1).unwrap();
-///     f.close();
+///     f.close().unwrap();
 /// });
 /// ```
 pub struct MpiFile<'r> {
@@ -196,7 +196,7 @@ impl<'r> MpiFile<'r> {
         }
         let (segs, packed) = self.flatten_access(offset_etypes, total, Some((buf, &mem)));
         let t0 = self.rank.now();
-        let t = write_packed(
+        let res = write_packed(
             &self.handle,
             t0,
             &segs,
@@ -204,9 +204,13 @@ impl<'r> MpiFile<'r> {
             &self.hints.io_method,
             self.view.ftype().extent,
         );
+        // Charge the op's full window whether or not it faulted (the error
+        // carries the would-be completion time), then surface the fault —
+        // independent I/O has no retry loop or collective agreement.
+        let t = res.unwrap_or_else(|e| e.at);
         self.rank.advance_to(t);
         self.rank.note_phase(Phase::Io, t - t0);
-        Ok(())
+        res.map(|_| ()).map_err(IoError::Pfs)
     }
 
     /// Independent read through the view at an etype offset.
@@ -224,7 +228,7 @@ impl<'r> MpiFile<'r> {
         }
         let (segs, mut packed) = self.flatten_access(offset_etypes, total, None);
         let t0 = self.rank.now();
-        let t = read_packed(
+        let res = read_packed(
             &self.handle,
             t0,
             &segs,
@@ -232,8 +236,15 @@ impl<'r> MpiFile<'r> {
             &self.hints.io_method,
             self.view.ftype().extent,
         );
+        let t = *res.as_ref().unwrap_or_else(|e| &e.at);
         self.rank.advance_to(t);
         self.rank.note_phase(Phase::Io, t - t0);
+        if let Err(e) = res {
+            // The packed bytes are exact even on a faulted request, but an
+            // independent read has no retry loop: report it without
+            // scattering, like a failed MPI_File_read_at.
+            return Err(IoError::Pfs(e));
+        }
         // Scatter the packed bytes into user memory piece by piece.
         let start = offset_etypes * self.view.etype_size();
         let mut cur = self.view.cursor(start);
@@ -301,16 +312,22 @@ impl<'r> MpiFile<'r> {
         self.rank.barrier();
     }
 
-    /// Flush this rank's cached pages (if client caching is on).
-    pub fn sync(&self) {
-        let t = self.handle.flush(self.rank.now());
-        self.rank.advance_to(t);
+    /// Flush this rank's cached pages (if client caching is on). Dirty
+    /// pages always land even on a faulted flush request; the error
+    /// reports the request outcome, as `MPI_File_sync` would.
+    pub fn sync(&self) -> Result<()> {
+        let res = self.handle.flush(self.rank.now());
+        self.rank.advance_to(*res.as_ref().unwrap_or_else(|e| &e.at));
+        res.map(|_| ()).map_err(IoError::Pfs)
     }
 
-    /// Collective close: flush, release locks, barrier.
-    pub fn close(self) {
-        let t = self.handle.close(self.rank.now());
-        self.rank.advance_to(t);
+    /// Collective close: flush, release locks, barrier. The file is fully
+    /// closed (locks released, cache invalidated) even when the final
+    /// flush request faults.
+    pub fn close(self) -> Result<()> {
+        let res = self.handle.close(self.rank.now());
+        self.rank.advance_to(*res.as_ref().unwrap_or_else(|e| &e.at));
         self.rank.barrier();
+        res.map(|_| ()).map_err(IoError::Pfs)
     }
 }

@@ -87,6 +87,14 @@ pub struct Hints {
     /// cycles may be in flight at once. Ignored (forced to 1) when
     /// [`Hints::double_buffer`] is off.
     pub pipeline_depth: PipelineDepth,
+    /// How many times an aggregator retries a transiently failed file-
+    /// system request before the collective gives up and agrees on an
+    /// error (`flexio_io_retries`). 0 fails fast on the first fault.
+    pub io_retries: u32,
+    /// Base backoff before the first retry, microseconds
+    /// (`flexio_retry_backoff_us`); doubles on each subsequent retry and
+    /// is charged in virtual time like any other wait.
+    pub retry_backoff_us: u64,
     /// Engine selection.
     pub engine: Engine,
     /// Custom file-realm assigner; overrides the built-in choice
@@ -107,6 +115,8 @@ impl Default for Hints {
             schedule_cache: true,
             double_buffer: true,
             pipeline_depth: PipelineDepth::default(),
+            io_retries: 4,
+            retry_backoff_us: 100,
             engine: Engine::default(),
             realm_assigner: None,
         }
@@ -125,6 +135,8 @@ impl std::fmt::Debug for Hints {
             .field("schedule_cache", &self.schedule_cache)
             .field("double_buffer", &self.double_buffer)
             .field("pipeline_depth", &self.pipeline_depth)
+            .field("io_retries", &self.io_retries)
+            .field("retry_backoff_us", &self.retry_backoff_us)
             .field("engine", &self.engine)
             .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
             .finish()
@@ -152,6 +164,11 @@ impl Hints {
             return Err(crate::error::IoError::BadHints(
                 "flexio_pipeline_depth must be a positive integer or auto (0 disables nothing; \
                  use flexio_double_buffer=disable or depth 1 for the serial engine)",
+            ));
+        }
+        if self.io_retries > 32 {
+            return Err(crate::error::IoError::BadHints(
+                "flexio_io_retries must be at most 32 (the backoff doubles per retry)",
             ));
         }
         Ok(())
@@ -221,6 +238,9 @@ mod tests {
         Hints { pipeline_depth: PipelineDepth::Fixed(6), ..Hints::default() }
             .validate_for(4)
             .unwrap();
+        assert!(Hints { io_retries: 33, ..Hints::default() }.validate().is_err());
+        Hints { io_retries: 0, retry_backoff_us: 0, ..Hints::default() }.validate().unwrap();
+        Hints { io_retries: 32, ..Hints::default() }.validate().unwrap();
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! | `flexio_schedule_cache` | `enable`/`disable` exchange-schedule caching (flexio extension, default enable) |
 //! | `flexio_double_buffer` | `enable`/`disable` pipelined buffer cycles (exchange/I-O overlap; flexio extension, default enable) |
 //! | `flexio_pipeline_depth` | `auto` or a positive integer: buffer cycles in flight at once (flexio extension, default auto; `1` = serial, `2` = classic double buffering) |
+//! | `flexio_io_retries` | retries per failed file-system request before the collective agrees on an error (flexio extension, default 4, max 32) |
+//! | `flexio_retry_backoff_us` | base microseconds of the first retry backoff, doubling per retry, charged in virtual time (flexio extension, default 100) |
 //!
 //! Unknown keys are ignored, as MPI requires.
 
@@ -118,6 +120,16 @@ pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
                         IoError::BadHints("flexio_pipeline_depth takes auto or a positive integer")
                     })?),
                 };
+            }
+            "flexio_io_retries" => {
+                h.io_retries = value
+                    .parse()
+                    .map_err(|_| IoError::BadHints("flexio_io_retries must be an integer"))?;
+            }
+            "flexio_retry_backoff_us" => {
+                h.retry_backoff_us = value.parse().map_err(|_| {
+                    IoError::BadHints("flexio_retry_backoff_us must be an integer")
+                })?;
             }
             _ => {} // unknown hints are ignored per the MPI standard
         }
@@ -220,6 +232,25 @@ mod tests {
         // 0 is caught by Hints::validate at the end of parsing.
         assert!(hints_from_info(Hints::default(), &[("flexio_pipeline_depth", "fast")]).is_err());
         assert!(hints_from_info(Hints::default(), &[("flexio_pipeline_depth", "0")]).is_err());
+    }
+
+    #[test]
+    fn retry_keys() {
+        assert_eq!(Hints::default().io_retries, 4);
+        assert_eq!(Hints::default().retry_backoff_us, 100);
+        let h = hints_from_info(
+            Hints::default(),
+            &[("flexio_io_retries", "7"), ("flexio_retry_backoff_us", "250")],
+        )
+        .unwrap();
+        assert_eq!(h.io_retries, 7);
+        assert_eq!(h.retry_backoff_us, 250);
+        let h = hints_from_info(h, &[("flexio_io_retries", "0")]).unwrap();
+        assert_eq!(h.io_retries, 0);
+        assert!(hints_from_info(Hints::default(), &[("flexio_io_retries", "lots")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("flexio_retry_backoff_us", "-1")]).is_err());
+        // Hints::validate bounds the doubling backoff at the end of parsing.
+        assert!(hints_from_info(Hints::default(), &[("flexio_io_retries", "33")]).is_err());
     }
 
     #[test]

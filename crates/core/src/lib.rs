@@ -77,13 +77,13 @@ mod tests {
                     .map(|i| (rank.rank() as u64 * 100 + i % 97) as u8)
                     .collect();
                 f.write_all(&data, &Datatype::bytes(block * nblocks), 1).unwrap();
-                f.close();
+                f.close().unwrap();
             });
         }
         let h = pfs.open("f", 999);
         let size = h.size();
         let mut out = vec![0u8; size as usize];
-        h.read(0, 0, &mut out);
+        h.read(0, 0, &mut out).unwrap();
         out
     }
 
@@ -143,7 +143,7 @@ mod tests {
             f.write_all(&data, &Datatype::bytes(160), 1).unwrap();
             let mut back = vec![0u8; 160];
             f.read_all(&mut back, &Datatype::bytes(160), 1).unwrap();
-            f.close();
+            f.close().unwrap();
             (data, back)
         });
         for (data, back) in outs {
@@ -180,7 +180,7 @@ mod tests {
             f.write_all(&buf, &memtype, 4).unwrap(); // 32 data bytes
             let mut back = vec![0u8; 64];
             f.read_all(&mut back, &memtype, 4).unwrap();
-            f.close();
+            f.close().unwrap();
             (buf, back)
         });
         for (buf, back) in outs {
@@ -204,11 +204,11 @@ mod tests {
             // Write 8 bytes at etype offset 2 (= data byte 8).
             let data = vec![rank.rank() as u8 + 1; 8];
             f.write_all_at(2, &data, &Datatype::bytes(8), 1).unwrap();
-            f.close();
+            f.close().unwrap();
         });
         let h = pfs.open("f", 9);
         let mut out = vec![0u8; h.size() as usize];
-        h.read(0, 0, &mut out);
+        h.read(0, 0, &mut out).unwrap();
         // Rank 0 data bytes 8..16 are file offsets 16..20 and 24..28;
         // rank 1 shifted by 4.
         assert_eq!(&out[16..20], &[1, 1, 1, 1]);
@@ -235,7 +235,7 @@ mod tests {
             let mut four = vec![0u8; 4];
             f.read_at(1, &mut four, &Datatype::bytes(4), 1).unwrap();
             assert_eq!(four, vec![5, 6, 7, 8]);
-            f.close();
+            f.close().unwrap();
         });
     }
 
@@ -259,7 +259,7 @@ mod tests {
             }
             let mut back = vec![0u8; 32];
             f.read_all_at(0, &mut back, &Datatype::bytes(32), 1).unwrap();
-            f.close();
+            f.close().unwrap();
             back
         });
         for back in outs {
@@ -291,7 +291,7 @@ mod tests {
             } else {
                 f.write_all(&[], &Datatype::bytes(1), 0).unwrap();
             }
-            f.close();
+            f.close().unwrap();
         });
         let h = pfs.open("f", 9);
         assert_eq!(h.size(), 12);
@@ -327,11 +327,11 @@ mod tests {
             f.set_view(rank.rank() as u64 * 8, &bt, &ft).unwrap();
             let data = vec![rank.rank() as u8 + 1; 24];
             f.write_all(&data, &Datatype::bytes(24), 1).unwrap();
-            f.close();
+            f.close().unwrap();
         });
         let h = pfs.open("f", 9);
         let mut out = vec![0u8; 72];
-        h.read(0, 0, &mut out);
+        h.read(0, 0, &mut out).unwrap();
         for blk in 0..9 {
             let want = (blk % 3 + 1) as u8;
             assert!(
@@ -366,7 +366,7 @@ mod tests {
                 let total = nregions * region;
                 let data = vec![rank.rank() as u8; total as usize];
                 f.write_all(&data, &Datatype::bytes(total), 1).unwrap();
-                f.close();
+                f.close().unwrap();
                 rank.stats().pairs_processed
             });
             stats.iter().sum::<u64>()

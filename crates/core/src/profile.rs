@@ -32,6 +32,13 @@ pub struct Profile {
     pub derive_overlap_saved_total_ns: u64,
     /// Deepest pipeline any rank reached (high-water mark, not a sum).
     pub pipeline_depth_max: u64,
+    /// Total file-system requests re-issued after transient faults across
+    /// ranks (zero without fault injection).
+    pub io_retries_total: u64,
+    /// Total buffer cycles run while an aggregator straggled.
+    pub degraded_cycles_total: u64,
+    /// Total persistent-file-realm rebalances away from stragglers.
+    pub realms_rebalanced_total: u64,
 }
 
 impl Profile {
@@ -50,6 +57,9 @@ impl Profile {
             p.overlap_saved_total_ns += s.overlap_saved_ns;
             p.derive_overlap_saved_total_ns += s.derive_overlap_saved_ns;
             p.pipeline_depth_max = p.pipeline_depth_max.max(s.pipeline_depth_used);
+            p.io_retries_total += s.io_retries;
+            p.degraded_cycles_total += s.degraded_cycles;
+            p.realms_rebalanced_total += s.realms_rebalanced;
         }
         p
     }
@@ -75,6 +85,9 @@ impl Profile {
                 // A watermark, not an accumulator: the window's deepest
                 // pipeline is whatever the cumulative snapshot reached.
                 pipeline_depth_used: a.pipeline_depth_used,
+                io_retries: a.io_retries - b.io_retries,
+                degraded_cycles: a.degraded_cycles - b.degraded_cycles,
+                realms_rebalanced: a.realms_rebalanced - b.realms_rebalanced,
                 phase_ns: [
                     a.phase_ns[0] - b.phase_ns[0],
                     a.phase_ns[1] - b.phase_ns[1],

@@ -97,6 +97,21 @@ impl FileRealm {
         out
     }
 
+    /// The tiling of an unbounded realm: its absolute per-period file
+    /// segments and the period (pattern extent). `None` for clipped
+    /// per-call realms, which have no meaningful period. This is what the
+    /// straggler-rebalance path uses to recover the current ownership
+    /// split so it can move bytes between aggregators.
+    pub fn tile(&self) -> Option<(Vec<(u64, u64)>, u64)> {
+        if self.bound.is_some() {
+            return None;
+        }
+        let ft = self.view.ftype();
+        let segs =
+            ft.segs.iter().map(|s| (self.view.disp() + s.off as u64, s.len)).collect();
+        Some((segs, ft.extent))
+    }
+
     /// Does this realm own file offset `off`?
     pub fn owns(&self, off: u64) -> bool {
         if let Some((lo, hi)) = self.bound {

@@ -1,0 +1,270 @@
+//! Deterministic fault injection for the PFS simulator.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* — transient per-OST
+//! request errors, straggler OSTs (a service-time multiplier over a
+//! virtual-time window), and lock-manager stalls — and a seed. The
+//! [`FaultInjector`] built from it makes every decision from
+//! `hash(seed, ost, per-OST request index)`, so a plan is reproducible
+//! for a given sequence of requests regardless of wall-clock effects:
+//! the same rank issuing the same requests sees the same faults.
+//!
+//! Faults only perturb *time* and *outcomes*, never data: a request that
+//! fails moves no bytes, so a retry of the same request is idempotent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What kind of PFS failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PfsErrorKind {
+    /// A transient per-request OST error (dropped RPC, brief target
+    /// failover): the request moved no data and may be retried.
+    TransientOst,
+}
+
+/// An injected PFS failure, surfaced by fallible [`crate::FileHandle`]
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfsError {
+    /// The failure class.
+    pub kind: PfsErrorKind,
+    /// Index of the OST whose request failed.
+    pub ost: usize,
+    /// Virtual time (ns) the failure was detected at the client.
+    pub at: u64,
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            PfsErrorKind::TransientOst => {
+                write!(f, "transient error from OST {} at t={} ns", self.ost, self.at)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// A straggler window: requests *starting* inside `[from_ns, until_ns)`
+/// on `ost` take `multiplier`× their normal service time *as observed by
+/// the requester*. The extra span is reply latency at a degraded target,
+/// not pipeline occupancy, so concurrent requests from different clients
+/// still overlap — spreading a slow realm over more aggregators hides
+/// the penalty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerSpec {
+    /// The slow OST.
+    pub ost: usize,
+    /// Service-time multiplier (≥ 1.0; 1.0 is a no-op).
+    pub multiplier: f64,
+    /// Window start (virtual ns, inclusive).
+    pub from_ns: u64,
+    /// Window end (virtual ns, exclusive). `u64::MAX` = persistent.
+    pub until_ns: u64,
+}
+
+/// Seeded description of the faults to inject. An empty default plan
+/// injects nothing (and [`crate::Pfs::new`] doesn't even install one, so
+/// the fault-free fast path stays charge-identical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// PRNG seed (xorshift64*-style hashing; 0 is remapped internally).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any one OST request fails
+    /// transiently.
+    pub transient_rate: f64,
+    /// Straggler OST windows.
+    pub stragglers: Vec<StragglerSpec>,
+    /// Extra lock-manager stall charged on each lock grant, ns (models a
+    /// congested DLM); 0 disables.
+    pub lock_stall_ns: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan { seed: 1, transient_rate: 0.0, stragglers: Vec::new(), lock_stall_ns: 0 }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with only a transient per-request error rate.
+    pub fn transient(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan { seed, transient_rate: rate, ..FaultPlan::default() }
+    }
+
+    /// A plan with a single persistent straggler OST.
+    pub fn straggler(ost: usize, multiplier: f64) -> FaultPlan {
+        FaultPlan {
+            stragglers: vec![StragglerSpec { ost, multiplier, from_ns: 0, until_ns: u64::MAX }],
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Runtime state evaluating a [`FaultPlan`]: per-OST request counters
+/// plus the precomputed decision threshold.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Transient-rate threshold scaled to u64 space.
+    threshold: u64,
+    /// Per-OST count of requests seen, indexing the decision hash.
+    req_counts: Vec<AtomicU64>,
+}
+
+/// One round of the splitmix64 finalizer — a strong 64-bit mix used to
+/// turn `(seed, ost, request-index)` into an i.i.d.-looking decision
+/// stream (same family as the repo's xorshift64* PRNG).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Build an injector for `n_osts` OSTs.
+    pub fn new(plan: FaultPlan, n_osts: usize) -> FaultInjector {
+        assert!(
+            (0.0..=1.0).contains(&plan.transient_rate),
+            "transient_rate must be in [0, 1]"
+        );
+        for s in &plan.stragglers {
+            assert!(s.ost < n_osts, "straggler OST {} out of range", s.ost);
+            assert!(s.multiplier >= 1.0, "straggler multiplier must be >= 1");
+        }
+        let threshold = if plan.transient_rate >= 1.0 {
+            u64::MAX
+        } else {
+            (plan.transient_rate * u64::MAX as f64) as u64
+        };
+        let seed = if plan.seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { plan.seed };
+        FaultInjector {
+            plan: FaultPlan { seed, ..plan },
+            threshold,
+            req_counts: (0..n_osts).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The plan this injector evaluates.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide whether the next request on `ost` fails transiently.
+    /// Deterministic in (seed, ost, per-OST request index).
+    pub fn roll_transient(&self, ost: usize) -> bool {
+        if self.plan.transient_rate <= 0.0 {
+            return false;
+        }
+        if self.plan.transient_rate >= 1.0 {
+            self.req_counts[ost].fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let idx = self.req_counts[ost].fetch_add(1, Ordering::Relaxed);
+        let h = mix64(self.plan.seed ^ mix64(ost as u64 + 1).wrapping_add(mix64(idx)));
+        h < self.threshold
+    }
+
+    /// Extra service ns for a request of duration `dur` starting at
+    /// virtual time `start` on `ost` (0 outside any straggler window).
+    pub fn straggler_extra(&self, ost: usize, start: u64, dur: u64) -> u64 {
+        let mut extra = 0u64;
+        for s in &self.plan.stragglers {
+            if s.ost == ost && start >= s.from_ns && start < s.until_ns {
+                extra += ((s.multiplier - 1.0) * dur as f64) as u64;
+            }
+        }
+        extra
+    }
+
+    /// Extra lock-manager stall on a grant, ns.
+    pub fn lock_stall(&self) -> u64 {
+        self.plan.lock_stall_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::default(), 4);
+        for _ in 0..1000 {
+            assert!(!inj.roll_transient(0));
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let inj = FaultInjector::new(FaultPlan::transient(7, 1.0), 2);
+        for _ in 0..100 {
+            assert!(inj.roll_transient(1));
+        }
+    }
+
+    #[test]
+    fn rate_roughly_respected_and_deterministic() {
+        let count = |seed| {
+            let inj = FaultInjector::new(FaultPlan::transient(seed, 0.25), 1);
+            (0..4000).filter(|_| inj.roll_transient(0)).count()
+        };
+        let n = count(42);
+        assert!((700..1300).contains(&n), "0.25 rate fired {n}/4000 times");
+        assert_eq!(n, count(42), "same seed must reproduce the same stream");
+        assert_ne!(n, count(43), "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn straggler_window_scales_duration() {
+        let inj = FaultInjector::new(
+            FaultPlan {
+                stragglers: vec![StragglerSpec {
+                    ost: 1,
+                    multiplier: 3.0,
+                    from_ns: 100,
+                    until_ns: 200,
+                }],
+                ..FaultPlan::default()
+            },
+            4,
+        );
+        assert_eq!(inj.straggler_extra(1, 150, 1000), 2000);
+        assert_eq!(inj.straggler_extra(1, 50, 1000), 0, "before window");
+        assert_eq!(inj.straggler_extra(1, 200, 1000), 0, "window end exclusive");
+        assert_eq!(inj.straggler_extra(0, 150, 1000), 0, "other OST unaffected");
+    }
+
+    #[test]
+    fn persistent_straggler_helper() {
+        let inj = FaultInjector::new(FaultPlan::straggler(2, 2.0), 4);
+        assert_eq!(inj.straggler_extra(2, u64::MAX / 2, 500), 500);
+    }
+
+    #[test]
+    fn lock_stall_passthrough() {
+        let inj =
+            FaultInjector::new(FaultPlan { lock_stall_ns: 77, ..FaultPlan::default() }, 1);
+        assert_eq!(inj.lock_stall(), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "transient_rate")]
+    fn bad_rate_rejected() {
+        FaultInjector::new(FaultPlan::transient(1, 1.5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_straggler_ost_rejected() {
+        FaultInjector::new(FaultPlan::straggler(9, 2.0), 4);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PfsError { kind: PfsErrorKind::TransientOst, ost: 3, at: 42 };
+        let s = e.to_string();
+        assert!(s.contains("OST 3") && s.contains("42"), "{s}");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::cache::ClientCache;
 use crate::config::PfsConfig;
+use crate::fault::{FaultInjector, FaultPlan, PfsError, PfsErrorKind};
 use crate::lock::LockTable;
 use std::sync::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -39,6 +40,10 @@ pub struct PfsStats {
     /// (see [`FileHandle::nb_issued`]) — how deep callers actually queue
     /// the nb API, e.g. the collective engine's pipeline depth.
     pub nb_inflight_peak: AtomicU64,
+    /// Transient OST request errors injected by the fault plan.
+    pub faults_injected: AtomicU64,
+    /// Extra service ns charged by straggler-OST windows.
+    pub straggler_ns: AtomicU64,
 }
 
 /// Plain-value snapshot of [`PfsStats`].
@@ -64,6 +69,10 @@ pub struct StatsSnapshot {
     pub cache_fills: u64,
     /// High-water mark of nonblocking ops outstanding on any one handle.
     pub nb_inflight_peak: u64,
+    /// Transient OST request errors injected by the fault plan.
+    pub faults_injected: u64,
+    /// Extra service ns charged by straggler-OST windows.
+    pub straggler_ns: u64,
 }
 
 struct OstState {
@@ -107,11 +116,25 @@ pub struct Pfs {
     files: Mutex<HashMap<String, Arc<FileObj>>>,
     next_id: AtomicU64,
     stats: PfsStats,
+    /// Installed fault injector; `None` (the default) is the fault-free
+    /// fast path, charge-identical to a file system built before fault
+    /// injection existed.
+    fault: Option<FaultInjector>,
 }
 
 impl Pfs {
-    /// Create a file system with the given configuration.
+    /// Create a fault-free file system with the given configuration.
     pub fn new(cfg: PfsConfig) -> Arc<Pfs> {
+        Self::build(cfg, None)
+    }
+
+    /// Create a file system with a seeded fault plan installed.
+    pub fn with_faults(cfg: PfsConfig, plan: FaultPlan) -> Arc<Pfs> {
+        let inj = FaultInjector::new(plan, cfg.n_osts);
+        Self::build(cfg, Some(inj))
+    }
+
+    fn build(cfg: PfsConfig, fault: Option<FaultInjector>) -> Arc<Pfs> {
         cfg.validate();
         Arc::new(Pfs {
             cfg,
@@ -121,7 +144,13 @@ impl Pfs {
             files: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: PfsStats::default(),
+            fault,
         })
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
     }
 
     /// The configuration.
@@ -146,7 +175,7 @@ impl Pfs {
                 })
             }))
         };
-        FileHandle { pfs: Arc::clone(self), file, client, nb_inflight: AtomicU64::new(0) }
+        FileHandle { pfs: Arc::clone(self), file, client, nb_inflight: Arc::new(AtomicU64::new(0)) }
     }
 
     /// Delete a file (for test isolation).
@@ -168,12 +197,17 @@ impl Pfs {
             flush_bytes: s.flush_bytes.load(Ordering::SeqCst),
             cache_fills: s.cache_fills.load(Ordering::SeqCst),
             nb_inflight_peak: s.nb_inflight_peak.load(Ordering::SeqCst),
+            faults_injected: s.faults_injected.load(Ordering::SeqCst),
+            straggler_ns: s.straggler_ns.load(Ordering::SeqCst),
         }
     }
 
     /// Time one OST chunk (a request confined to a single stripe) and
     /// update that OST's pipeline clock. Returns the completion time at
-    /// the client.
+    /// the client, or the injected fault detected at that time. A failed
+    /// request still occupies the server for its full service time (the
+    /// OST did the work and lost the reply, or failed at commit), so OST
+    /// clocks advance identically either way.
     fn ost_chunk(
         &self,
         file: &FileObj,
@@ -182,7 +216,7 @@ impl Pfs {
         len: u64,
         is_write: bool,
         rmw_pages: u64,
-    ) -> u64 {
+    ) -> Result<u64, PfsError> {
         let c = &self.cfg.cost;
         let ost_idx = self.cfg.ost_of(off);
         let send_bytes = if is_write { len } else { 0 };
@@ -204,7 +238,32 @@ impl Pfs {
         self.stats.ost_requests.fetch_add(1, Ordering::Relaxed);
         self.stats.rmw_page_reads.fetch_add(rmw_pages, Ordering::Relaxed);
         let recv_bytes = if is_write { 0 } else { len };
-        done + c.net_ns + (recv_bytes as f64 * c.net_ns_per_byte) as u64
+        let mut client_done = done + c.net_ns + (recv_bytes as f64 * c.net_ns_per_byte) as u64;
+        if let Some(inj) = &self.fault {
+            // A straggler window models elevated per-request latency at a
+            // degraded target (RAID rebuild, congested OSS reply path):
+            // the requester waits multiplier x the service time, but the
+            // target's internal pipeline is not occupied for the extra
+            // span, so requests from *different* aggregators still
+            // overlap. That overlap is precisely what realm rebalancing
+            // exploits to route around a straggler.
+            let extra = inj.straggler_extra(ost_idx, start, dur);
+            if extra > 0 {
+                self.stats.straggler_ns.fetch_add(extra, Ordering::Relaxed);
+                client_done += extra;
+            }
+        }
+        if let Some(inj) = &self.fault {
+            if inj.roll_transient(ost_idx) {
+                self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+                return Err(PfsError {
+                    kind: PfsErrorKind::TransientOst,
+                    ost: ost_idx,
+                    at: client_done,
+                });
+            }
+        }
+        Ok(client_done)
     }
 
     /// RMW page reads needed for a direct write of `[off, off+len)`:
@@ -231,20 +290,37 @@ impl Pfs {
         n
     }
 
-    /// Issue a raw (uncached) I/O spanning stripes; returns completion.
-    fn raw_io(&self, file: &FileObj, now: u64, off: u64, len: u64, is_write: bool) -> u64 {
+    /// Issue a raw (uncached) I/O spanning stripes; returns completion or
+    /// the first injected fault. Every stripe chunk is issued regardless —
+    /// the op's data and server-side time are fully committed either way,
+    /// so a retry of the whole op is idempotent — and a returned error
+    /// carries the op's would-be completion time in [`PfsError::at`].
+    fn raw_io(
+        &self,
+        file: &FileObj,
+        now: u64,
+        off: u64,
+        len: u64,
+        is_write: bool,
+    ) -> Result<u64, PfsError> {
         if len == 0 {
-            return now;
+            return Ok(now);
         }
         let mut finish = now;
+        let mut err: Option<PfsError> = None;
         let mut pos = off;
         let end = off + len;
         while pos < end {
             let stripe_end = (pos / self.cfg.stripe_size + 1) * self.cfg.stripe_size;
             let chunk_end = end.min(stripe_end);
             let rmw = if is_write { self.rmw_pages_for(file, pos, chunk_end - pos) } else { 0 };
-            let t = self.ost_chunk(file, now, pos, chunk_end - pos, is_write, rmw);
-            finish = finish.max(t);
+            match self.ost_chunk(file, now, pos, chunk_end - pos, is_write, rmw) {
+                Ok(t) => finish = finish.max(t),
+                Err(e) => {
+                    finish = finish.max(e.at);
+                    err.get_or_insert(e);
+                }
+            }
             pos = chunk_end;
         }
         if is_write {
@@ -252,7 +328,20 @@ impl Pfs {
         } else {
             self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
         }
-        finish
+        match err {
+            Some(e) => Err(PfsError { at: finish, ..e }),
+            None => Ok(finish),
+        }
+    }
+
+    /// [`Pfs::raw_io`] for internal coherence traffic (lock-revocation
+    /// victim flushes): the lock manager retries transient errors
+    /// internally, so only the time matters to the caller.
+    fn raw_io_infallible(&self, file: &FileObj, now: u64, off: u64, len: u64, is_write: bool) -> u64 {
+        match self.raw_io(file, now, off, len, is_write) {
+            Ok(t) => t,
+            Err(e) => e.at,
+        }
     }
 
     fn store(&self, file: &FileObj, off: u64, data: &[u8]) {
@@ -282,23 +371,32 @@ impl Pfs {
 /// A nonblocking PFS operation in flight. The data movement has already
 /// happened (file contents are byte-exact the moment the op is issued —
 /// this is a virtual-time model, not a concurrency model); only the op's
-/// *time* is pending. The handle carries the virtual window the op
-/// occupies so callers can overlap it with other work and charge
-/// `max(windows)` instead of the sum.
+/// *time* — and, under fault injection, its *outcome* — is pending. The
+/// handle carries the virtual window the op occupies so callers can
+/// overlap it with other work and charge `max(windows)` instead of the
+/// sum; an injected fault is reported when the op is waited on.
 #[must_use = "a nonblocking op must be waited on to charge its virtual time"]
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NbOp {
     issued_at: u64,
     done_at: u64,
+    err: Option<PfsError>,
 }
 
 impl NbOp {
+    fn from_result(issued_at: u64, res: Result<u64, PfsError>) -> NbOp {
+        match res {
+            Ok(done_at) => NbOp { issued_at, done_at, err: None },
+            Err(e) => NbOp { issued_at, done_at: e.at, err: Some(e) },
+        }
+    }
+
     /// Virtual time the op was issued at.
     pub fn issued_at(&self) -> u64 {
         self.issued_at
     }
 
-    /// Virtual time the op completes at.
+    /// Virtual time the op completes at (successfully or with an error).
     pub fn done_at(&self) -> u64 {
         self.done_at
     }
@@ -308,10 +406,36 @@ impl NbOp {
         self.done_at.saturating_sub(self.issued_at)
     }
 
+    /// The fault this op will report at completion, if any.
+    pub fn error(&self) -> Option<PfsError> {
+        self.err
+    }
+
     /// Block until the op completes: the later of `now` and the op's
-    /// completion time.
-    pub fn wait(&self, now: u64) -> u64 {
-        now.max(self.done_at)
+    /// completion time, or the op's injected fault. Consumes the op, so a
+    /// double wait is a compile error rather than a silent double charge.
+    pub fn wait(self, now: u64) -> Result<u64, PfsError> {
+        match self.err {
+            Some(e) => Err(PfsError { at: now.max(e.at), ..e }),
+            None => Ok(now.max(self.done_at)),
+        }
+    }
+}
+
+/// RAII tally of one outstanding nonblocking op, handed out by
+/// [`FileHandle::nb_issued`]. Dropping it retires the op from the
+/// handle's inflight count — including drops on early-exit/error paths
+/// that never reach an explicit wait, which used to leak
+/// [`PfsStats::nb_inflight_peak`] accounting.
+#[derive(Debug)]
+pub struct NbGuard {
+    inflight: Arc<AtomicU64>,
+}
+
+impl Drop for NbGuard {
+    fn drop(&mut self) {
+        let prev = self.inflight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "NbGuard dropped with zero inflight");
     }
 }
 
@@ -322,10 +446,10 @@ pub struct FileHandle {
     client: usize,
     /// Nonblocking ops issued on this handle and not yet retired. The data
     /// already landed at issue time, so this bounds nothing — it is pure
-    /// telemetry a caller maintains via [`FileHandle::nb_issued`] /
-    /// [`FileHandle::nb_retired`] so queueing depth shows up in
+    /// telemetry a caller maintains by holding the [`NbGuard`]s from
+    /// [`FileHandle::nb_issued`] so queueing depth shows up in
     /// [`PfsStats`].
-    nb_inflight: AtomicU64,
+    nb_inflight: Arc<AtomicU64>,
 }
 
 impl FileHandle {
@@ -377,7 +501,9 @@ impl FileHandle {
                         .stats
                         .flush_bytes
                         .fetch_add(run.data.len() as u64, Ordering::Relaxed);
-                    let fin = self.pfs.raw_io(&self.file, t, run.off, run.data.len() as u64, true);
+                    let fin = self
+                        .pfs
+                        .raw_io_infallible(&self.file, t, run.off, run.data.len() as u64, true);
                     self.pfs.store(&self.file, run.off, &run.data);
                     t = t.max(fin);
                 }
@@ -385,27 +511,36 @@ impl FileHandle {
             }
         }
         t += self.pfs.cfg.cost.lock_grant_ns;
+        if let Some(inj) = &self.pfs.fault {
+            t += inj.lock_stall();
+        }
         t
     }
 
     /// Explicitly acquire coherence locks covering `[off, off+len)`, as
     /// ROMIO does around a data-sieving read-modify-write. Subsequent
     /// reads/writes inside the range find the lock already held. Returns
-    /// the virtual completion time (a no-op without locking).
-    pub fn lock_range(&self, now: u64, off: u64, len: u64) -> u64 {
-        self.acquire_locks(now, off, len)
+    /// the virtual completion time (a no-op without locking). Lock
+    /// traffic is retried internally and never surfaces a fault, but the
+    /// signature is fallible for uniformity with the data path.
+    pub fn lock_range(&self, now: u64, off: u64, len: u64) -> Result<u64, PfsError> {
+        Ok(self.acquire_locks(now, off, len))
     }
 
     /// Write `data` at `off`, starting at virtual time `now`; returns the
-    /// completion time.
-    pub fn write(&self, now: u64, off: u64, data: &[u8]) -> u64 {
+    /// completion time. Under fault injection a transient OST error is
+    /// returned instead; the data still lands (the server committed it and
+    /// lost the reply), so retrying the same write is idempotent, and
+    /// [`PfsError::at`] carries the failed op's completion time so the
+    /// caller's clock advances identically either way.
+    pub fn write(&self, now: u64, off: u64, data: &[u8]) -> Result<u64, PfsError> {
         let _serial = self.file.serial.lock().unwrap();
         self.write_locked(now, off, data)
     }
 
-    fn write_locked(&self, now: u64, off: u64, data: &[u8]) -> u64 {
+    fn write_locked(&self, now: u64, off: u64, data: &[u8]) -> Result<u64, PfsError> {
         if data.is_empty() {
-            return now;
+            return Ok(now);
         }
         let mut t = self.acquire_locks(now, off, data.len() as u64);
         if self.pfs.cfg.client_cache {
@@ -428,9 +563,16 @@ impl FileHandle {
                     }
                 }
             }
+            let mut err: Option<PfsError> = None;
             for page in fills {
                 let p_start = page * ps;
-                let fin = self.pfs.raw_io(&self.file, t, p_start, ps, false);
+                let fin = match self.pfs.raw_io(&self.file, t, p_start, ps, false) {
+                    Ok(fin) => fin,
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        e.at
+                    }
+                };
                 let mut buf = vec![0u8; ps as usize];
                 self.pfs.load(&self.file, p_start, &mut buf);
                 let cache = coh.caches.get_mut(&self.client).unwrap();
@@ -451,25 +593,30 @@ impl FileHandle {
             cache.write(off, data);
             t += (data.len() as f64 * self.pfs.cfg.cost.cache_copy_ns_per_byte) as u64;
             self.file.size.fetch_max(end, Ordering::SeqCst);
-            t
+            match err {
+                Some(e) => Err(PfsError { at: t, ..e }),
+                None => Ok(t),
+            }
         } else {
-            let fin = self.pfs.raw_io(&self.file, t, off, data.len() as u64, true);
+            let res = self.pfs.raw_io(&self.file, t, off, data.len() as u64, true);
             self.pfs.store(&self.file, off, data);
-            t = t.max(fin);
-            t
+            res.map(|fin| t.max(fin))
         }
     }
 
     /// Read into `buf` at `off`, starting at virtual time `now`; returns
-    /// the completion time. Reads beyond EOF yield zeros.
-    pub fn read(&self, now: u64, off: u64, buf: &mut [u8]) -> u64 {
+    /// the completion time. Reads beyond EOF yield zeros. Under fault
+    /// injection a transient OST error is returned instead; `buf` is
+    /// still filled correctly (the contents are exact, the *request*
+    /// failed), so retrying is idempotent.
+    pub fn read(&self, now: u64, off: u64, buf: &mut [u8]) -> Result<u64, PfsError> {
         let _serial = self.file.serial.lock().unwrap();
         self.read_locked(now, off, buf)
     }
 
-    fn read_locked(&self, now: u64, off: u64, buf: &mut [u8]) -> u64 {
+    fn read_locked(&self, now: u64, off: u64, buf: &mut [u8]) -> Result<u64, PfsError> {
         if buf.is_empty() {
-            return now;
+            return Ok(now);
         }
         let mut t = self.acquire_locks(now, off, buf.len() as u64);
         if self.pfs.cfg.client_cache {
@@ -480,6 +627,7 @@ impl FileHandle {
                 .entry(self.client)
                 .or_insert_with(|| ClientCache::new(ps));
             let missing = cache.missing_pages(off, buf.len() as u64);
+            let mut err: Option<PfsError> = None;
             // Fetch missing pages as coalesced runs.
             let mut i = 0;
             while i < missing.len() {
@@ -489,7 +637,13 @@ impl FileHandle {
                 }
                 let run_off = missing[i] * ps;
                 let run_len = (missing[j] + 1) * ps - run_off;
-                let fin = self.pfs.raw_io(&self.file, t, run_off, run_len, false);
+                let fin = match self.pfs.raw_io(&self.file, t, run_off, run_len, false) {
+                    Ok(fin) => fin,
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        e.at
+                    }
+                };
                 t = t.max(fin);
                 let mut data = vec![0u8; run_len as usize];
                 self.pfs.load(&self.file, run_off, &mut data);
@@ -504,11 +658,14 @@ impl FileHandle {
             let cache = coh.caches.get_mut(&self.client).unwrap();
             cache.read(off, buf);
             t += (buf.len() as f64 * self.pfs.cfg.cost.cache_copy_ns_per_byte) as u64;
-            t
+            match err {
+                Some(e) => Err(PfsError { at: t, ..e }),
+                None => Ok(t),
+            }
         } else {
-            let fin = self.pfs.raw_io(&self.file, t, off, buf.len() as u64, false);
+            let res = self.pfs.raw_io(&self.file, t, off, buf.len() as u64, false);
             self.pfs.load(&self.file, off, buf);
-            t.max(fin)
+            res.map(|fin| t.max(fin))
         }
     }
 
@@ -528,12 +685,19 @@ impl FileHandle {
         segs: &[(u64, u64)],
         packed: &[u8],
         covered: bool,
-    ) -> u64 {
+    ) -> Result<u64, PfsError> {
         let _serial = self.file.serial.lock().unwrap();
         let mut buf = vec![0u8; len as usize];
         let mut t = now;
+        let mut err: Option<PfsError> = None;
         if !covered {
-            t = self.read_locked(t, off, &mut buf);
+            t = match self.read_locked(t, off, &mut buf) {
+                Ok(t) => t,
+                Err(e) => {
+                    err = Some(e);
+                    e.at
+                }
+            };
         }
         let mut pos = 0usize;
         for &(so, sl) in segs {
@@ -542,21 +706,26 @@ impl FileHandle {
                 .copy_from_slice(&packed[pos..pos + sl as usize]);
             pos += sl as usize;
         }
-        self.write_locked(t, off, &buf)
+        match self.write_locked(t, off, &buf) {
+            Ok(t) => match err {
+                Some(e) => Err(PfsError { at: t, ..e }),
+                None => Ok(t),
+            },
+            Err(e) => Err(PfsError { at: e.at, ..err.unwrap_or(e) }),
+        }
     }
 
     /// Record that one more nonblocking op is outstanding on this handle
     /// (call when queueing an [`NbOp`]/completion for later waiting, not
     /// when waiting immediately); feeds [`PfsStats::nb_inflight_peak`].
-    pub fn nb_issued(&self) {
+    /// The returned guard retires the op when dropped — hold it while the
+    /// op is queued, drop it when the op is waited on (or when an error
+    /// path abandons the queue; the drop keeps the count honest either
+    /// way).
+    pub fn nb_issued(&self) -> NbGuard {
         let depth = self.nb_inflight.fetch_add(1, Ordering::SeqCst) + 1;
         self.pfs.stats.nb_inflight_peak.fetch_max(depth, Ordering::SeqCst);
-    }
-
-    /// Record that one outstanding nonblocking op was waited on.
-    pub fn nb_retired(&self) {
-        let prev = self.nb_inflight.fetch_sub(1, Ordering::SeqCst);
-        debug_assert!(prev > 0, "nb_retired without a matching nb_issued");
+        NbGuard { inflight: Arc::clone(&self.nb_inflight) }
     }
 
     /// Nonblocking ops currently outstanding on this handle.
@@ -566,21 +735,22 @@ impl FileHandle {
 
     /// Nonblocking [`FileHandle::write`]: issues the write at `now` and
     /// returns a completion handle instead of blocking the caller's clock
-    /// until `done_at`. Contents are stored immediately.
+    /// until `done_at`. Contents are stored immediately; an injected
+    /// fault is carried in the handle and reported by [`NbOp::wait`].
     pub fn pwrite_nb(&self, now: u64, off: u64, data: &[u8]) -> NbOp {
-        NbOp { issued_at: now, done_at: self.write(now, off, data) }
+        NbOp::from_result(now, self.write(now, off, data))
     }
 
     /// Nonblocking [`FileHandle::read`]: issues the read at `now`; `buf`
     /// is filled immediately, the returned handle carries the virtual
-    /// completion time.
+    /// completion time (and any injected fault).
     pub fn pread_nb(&self, now: u64, off: u64, buf: &mut [u8]) -> NbOp {
-        NbOp { issued_at: now, done_at: self.read(now, off, buf) }
+        NbOp::from_result(now, self.read(now, off, buf))
     }
 
     /// Nonblocking [`FileHandle::sieve_chunk_write`]: the whole
     /// read-modify-write commits atomically at issue time; the handle
-    /// carries its virtual window.
+    /// carries its virtual window (and any injected fault).
     pub fn sieve_chunk_write_nb(
         &self,
         now: u64,
@@ -590,7 +760,7 @@ impl FileHandle {
         packed: &[u8],
         covered: bool,
     ) -> NbOp {
-        NbOp { issued_at: now, done_at: self.sieve_chunk_write(now, off, len, segs, packed, covered) }
+        NbOp::from_result(now, self.sieve_chunk_write(now, off, len, segs, packed, covered))
     }
 
     /// Truncate or extend the file to exactly `size` bytes. Shrinking
@@ -635,12 +805,16 @@ impl FileHandle {
         now + c.request_ns * stripes.max(1)
     }
 
-    /// Flush this client's dirty pages to storage; returns completion time.
-    pub fn flush(&self, now: u64) -> u64 {
+    /// Flush this client's dirty pages to storage; returns completion
+    /// time. Data always lands even when a transient fault is reported
+    /// (so a failed flush cannot lose dirty pages); the error tells the
+    /// caller the *request* outcome.
+    pub fn flush(&self, now: u64) -> Result<u64, PfsError> {
         let mut t = now;
         if !self.pfs.cfg.client_cache {
-            return t;
+            return Ok(t);
         }
+        let mut err: Option<PfsError> = None;
         let mut coh = self.file.coherency.lock().unwrap();
         if let Some(cache) = coh.caches.get_mut(&self.client) {
             for run in cache.take_all_dirty() {
@@ -648,23 +822,33 @@ impl FileHandle {
                     .stats
                     .flush_bytes
                     .fetch_add(run.data.len() as u64, Ordering::Relaxed);
-                let fin = self.pfs.raw_io(&self.file, t, run.off, run.data.len() as u64, true);
+                let fin = match self.pfs.raw_io(&self.file, t, run.off, run.data.len() as u64, true)
+                {
+                    Ok(fin) => fin,
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        e.at
+                    }
+                };
                 self.pfs.store(&self.file, run.off, &run.data);
                 t = t.max(fin);
             }
         }
-        t
+        match err {
+            Some(e) => Err(PfsError { at: t, ..e }),
+            None => Ok(t),
+        }
     }
 
     /// Flush, invalidate the cache, and release this client's locks.
-    pub fn close(&self, now: u64) -> u64 {
-        let t = self.flush(now);
+    pub fn close(&self, now: u64) -> Result<u64, PfsError> {
+        let res = self.flush(now);
         let mut coh = self.file.coherency.lock().unwrap();
         if let Some(cache) = coh.caches.get_mut(&self.client) {
             cache.invalidate(0, u64::MAX);
         }
         coh.table.release_all(self.client);
-        t
+        res
     }
 }
 
@@ -682,9 +866,9 @@ mod tests {
         let pfs = tiny();
         let h = pfs.open("f", 0);
         let data: Vec<u8> = (0..200).map(|i| (i % 256) as u8).collect();
-        h.write(0, 13, &data);
+        h.write(0, 13, &data).unwrap();
         let mut buf = vec![0u8; 200];
-        h.read(0, 13, &mut buf);
+        h.read(0, 13, &mut buf).unwrap();
         assert_eq!(buf, data);
         assert_eq!(h.size(), 213);
     }
@@ -693,9 +877,9 @@ mod tests {
     fn read_beyond_eof_zeros() {
         let pfs = tiny();
         let h = pfs.open("f", 0);
-        h.write(0, 0, &[1, 2, 3]);
+        h.write(0, 0, &[1, 2, 3]).unwrap();
         let mut buf = [9u8; 6];
-        h.read(0, 0, &mut buf);
+        h.read(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [1, 2, 3, 0, 0, 0]);
     }
 
@@ -704,9 +888,9 @@ mod tests {
         let pfs = tiny();
         let a = pfs.open("f", 0);
         let b = pfs.open("f", 1);
-        a.write(0, 0, b"hello");
+        a.write(0, 0, b"hello").unwrap();
         let mut buf = [0u8; 5];
-        b.read(0, 0, &mut buf);
+        b.read(0, 0, &mut buf).unwrap();
         assert_eq!(&buf, b"hello");
     }
 
@@ -714,7 +898,7 @@ mod tests {
     fn unlink_resets() {
         let pfs = tiny();
         let a = pfs.open("f", 0);
-        a.write(0, 0, b"x");
+        a.write(0, 0, b"x").unwrap();
         pfs.unlink("f");
         let b = pfs.open("f", 0);
         assert_eq!(b.size(), 0);
@@ -728,10 +912,10 @@ mod tests {
         });
         let h = pfs.open("f", 0);
         // stripe=64: a 200-byte write spans 4 chunks
-        h.write(0, 0, &[7u8; 200]);
+        h.write(0, 0, &[7u8; 200]).unwrap();
         assert_eq!(pfs.stats().ost_requests, 4);
         let mut buf = vec![0u8; 200];
-        h.read(0, 0, &mut buf);
+        h.read(0, 0, &mut buf).unwrap();
         assert_eq!(buf, vec![7u8; 200]);
     }
 
@@ -749,12 +933,12 @@ mod tests {
         let h = pfs.open("f", 0);
         let mut t = 0;
         for i in 0..10u64 {
-            t = h.write(t, i * 16, &[0u8; 16]);
+            t = h.write(t, i * 16, &[0u8; 16]).unwrap();
         }
         // First write seeks, the rest are sequential.
         assert_eq!(pfs.stats().seeks, 1);
         // Now a discontiguous write.
-        h.write(t, 1000, &[0u8; 16]);
+        h.write(t, 1000, &[0u8; 16]).unwrap();
         assert_eq!(pfs.stats().seeks, 2);
     }
 
@@ -771,13 +955,13 @@ mod tests {
         });
         let h = pfs.open("f", 0);
         // Pre-extend the file so pages exist.
-        h.write(0, 0, &vec![0u8; 256]);
+        h.write(0, 0, &vec![0u8; 256]).unwrap();
         let before = pfs.stats().rmw_page_reads;
-        h.write(0, 5, &[1u8; 6]); // one partial page
+        h.write(0, 5, &[1u8; 6]).unwrap(); // one partial page
         assert_eq!(pfs.stats().rmw_page_reads - before, 1);
-        h.write(0, 5, &[1u8; 30]); // two partial edges
+        h.write(0, 5, &[1u8; 30]).unwrap(); // two partial edges
         assert_eq!(pfs.stats().rmw_page_reads - before, 3);
-        h.write(0, 16, &[1u8; 32]); // fully aligned
+        h.write(0, 16, &[1u8; 32]).unwrap(); // fully aligned
         assert_eq!(pfs.stats().rmw_page_reads - before, 3);
     }
 
@@ -793,7 +977,7 @@ mod tests {
             cost: PfsCostModel::default(),
         });
         let h = pfs.open("f", 0);
-        h.write(0, 5, &[1u8; 6]); // unaligned but beyond EOF
+        h.write(0, 5, &[1u8; 6]).unwrap(); // unaligned but beyond EOF
         assert_eq!(pfs.stats().rmw_page_reads, 0);
     }
 
@@ -804,7 +988,7 @@ mod tests {
             ..PfsConfig::test_tiny()
         });
         let h = pfs.open("f", 0);
-        let t = h.write(1000, 0, &[0u8; 32]);
+        let t = h.write(1000, 0, &[0u8; 32]).unwrap();
         assert!(t > 1000 + 50_000, "write too fast: {t}");
     }
 
@@ -820,11 +1004,11 @@ mod tests {
             cost: PfsCostModel::default(),
         });
         let h = pfs.open("f", 0);
-        let t1 = h.write(0, 0, &[0u8; 16]);
+        let t1 = h.write(0, 0, &[0u8; 16]).unwrap();
         // Second request issued at time 0 on another handle must queue
         // behind the first on the same OST.
         let h2 = pfs.open("f", 1);
-        let t2 = h2.write(0, 16, &[0u8; 16]);
+        let t2 = h2.write(0, 16, &[0u8; 16]).unwrap();
         assert!(t2 > t1, "second op did not queue: {t2} vs {t1}");
     }
 
@@ -857,9 +1041,11 @@ mod tests {
         let mut buf = [0u8; 64];
         let r = h.pread_nb(op.done_at(), 0, &mut buf);
         assert_eq!(buf, [7u8; 64]);
-        // wait() is max(now, done_at) in both directions.
-        assert_eq!(r.wait(0), r.done_at());
-        assert_eq!(r.wait(r.done_at() + 5), r.done_at() + 5);
+        // wait() is max(now, done_at) in both directions; it consumes the
+        // op (double-wait is a compile error), so probe via a clone.
+        let done = r.done_at();
+        assert_eq!(r.clone().wait(0).unwrap(), done);
+        assert_eq!(r.wait(done + 5).unwrap(), done + 5);
     }
 
     #[test]
@@ -875,17 +1061,17 @@ mod tests {
         };
         let (pa, pb) = (mk(), mk());
         let (a, b) = (pa.open("f", 0), pb.open("f", 0));
-        let t1 = a.write(500, 3, &[1u8; 100]);
+        let t1 = a.write(500, 3, &[1u8; 100]).unwrap();
         let o1 = b.pwrite_nb(500, 3, &[1u8; 100]);
         assert_eq!(t1, o1.done_at());
         let mut ba = [0u8; 100];
         let mut bb = [0u8; 100];
-        let t2 = a.read(t1, 3, &mut ba);
+        let t2 = a.read(t1, 3, &mut ba).unwrap();
         let o2 = b.pread_nb(o1.done_at(), 3, &mut bb);
         assert_eq!(t2, o2.done_at());
         assert_eq!(ba, bb);
         let segs = [(8u64, 16u64)];
-        let t3 = a.sieve_chunk_write(t2, 0, 64, &segs, &[9u8; 16], false);
+        let t3 = a.sieve_chunk_write(t2, 0, 64, &segs, &[9u8; 16], false).unwrap();
         let o3 = b.sieve_chunk_write_nb(o2.done_at(), 0, 64, &segs, &[9u8; 16], false);
         assert_eq!(t3, o3.done_at());
     }
@@ -896,36 +1082,175 @@ mod tests {
         let a = pfs.open("f", 0);
         let b = pfs.open("f", 1);
         assert_eq!(pfs.stats().nb_inflight_peak, 0);
-        let ops: Vec<NbOp> = (0..3)
+        let ops: Vec<(NbOp, NbGuard)> = (0..3)
             .map(|i| {
                 let op = a.pwrite_nb(0, i * 64, &[1u8; 64]);
-                a.nb_issued();
-                op
+                (op, a.nb_issued())
             })
             .collect();
         assert_eq!(a.nb_inflight(), 3);
         // A second handle's queue is independent.
         let _op = b.pwrite_nb(0, 512, &[2u8; 64]);
-        b.nb_issued();
+        let bg = b.nb_issued();
         assert_eq!(b.nb_inflight(), 1);
-        b.nb_retired();
-        for op in ops {
-            let _ = op.wait(0);
-            a.nb_retired();
+        drop(bg);
+        for (op, guard) in ops {
+            let _ = op.wait(0).unwrap();
+            drop(guard);
         }
         assert_eq!(a.nb_inflight(), 0);
         assert_eq!(pfs.stats().nb_inflight_peak, 3, "peak is the deepest single-handle queue");
     }
 
     #[test]
+    fn nb_guard_drop_retires_without_wait() {
+        // Early-exit paths that abandon queued ops (e.g. an engine error
+        // return) must not leak the inflight count: dropping the guards —
+        // without ever waiting on the ops — retires them.
+        let pfs = tiny();
+        let a = pfs.open("f", 0);
+        let guards: Vec<NbGuard> = (0..4)
+            .map(|i| {
+                let _op = a.pwrite_nb(0, i * 64, &[1u8; 64]);
+                a.nb_issued()
+            })
+            .collect();
+        assert_eq!(a.nb_inflight(), 4);
+        drop(guards); // simulate bailing out of the pipeline early
+        assert_eq!(a.nb_inflight(), 0, "guard drop must retire the counter");
+        assert_eq!(pfs.stats().nb_inflight_peak, 4, "peak still records the high-water mark");
+        // A later queue ramp starts from zero, not from the leaked base.
+        let g = a.nb_issued();
+        assert_eq!(a.nb_inflight(), 1);
+        drop(g);
+    }
+
+    // ---- fault injection --------------------------------------------------
+
+    #[test]
+    fn disabled_faults_charge_identical() {
+        // A Pfs without a fault plan and one with an all-zero plan must
+        // produce identical completion times and counters (the fault-free
+        // fast path is the charge-identity contract).
+        let mk_plain = || Pfs::new(PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() });
+        let mk_noop = || {
+            Pfs::with_faults(
+                PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() },
+                FaultPlan::default(),
+            )
+        };
+        let (pa, pb) = (mk_plain(), mk_noop());
+        assert!(pa.fault_plan().is_none());
+        assert!(pb.fault_plan().is_some());
+        let (a, b) = (pa.open("f", 0), pb.open("f", 0));
+        let mut ta = 0;
+        let mut tb = 0;
+        for i in 0..6u64 {
+            ta = a.write(ta, i * 100, &[i as u8; 90]).unwrap();
+            tb = b.write(tb, i * 100, &[i as u8; 90]).unwrap();
+        }
+        let mut ba = [0u8; 300];
+        let mut bb = [0u8; 300];
+        ta = a.read(ta, 50, &mut ba).unwrap();
+        tb = b.read(tb, 50, &mut bb).unwrap();
+        assert_eq!(ta, tb, "a no-op plan must not perturb time");
+        assert_eq!(ba, bb);
+        assert_eq!(pa.stats(), pb.stats());
+        assert_eq!(pb.stats().faults_injected, 0);
+        assert_eq!(pb.stats().straggler_ns, 0);
+    }
+
+    #[test]
+    fn transient_fault_reported_but_data_lands() {
+        let pfs = Pfs::with_faults(
+            PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() },
+            FaultPlan::transient(11, 1.0),
+        );
+        let h = pfs.open("f", 0);
+        let err = h.write(0, 0, &[3u8; 32]).unwrap_err();
+        assert_eq!(err.kind, crate::fault::PfsErrorKind::TransientOst);
+        assert!(err.at > 0, "error carries the op's completion time");
+        assert!(pfs.stats().faults_injected >= 1);
+        // The data landed anyway: a retry is idempotent and a reader (on a
+        // fault-free mirror decision path) sees the bytes.
+        let mut buf = [0u8; 32];
+        let res = h.read(err.at, 0, &mut buf);
+        assert_eq!(buf, [3u8; 32]);
+        assert!(res.is_err(), "rate-1.0 plan fails reads too");
+    }
+
+    #[test]
+    fn nb_op_carries_fault_to_wait() {
+        let pfs = Pfs::with_faults(
+            PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() },
+            FaultPlan::transient(5, 1.0),
+        );
+        let h = pfs.open("f", 0);
+        let op = h.pwrite_nb(100, 0, &[9u8; 16]);
+        assert!(op.error().is_some(), "error known at issue in virtual time");
+        let done = op.done_at();
+        let err = op.wait(0).unwrap_err();
+        assert_eq!(err.at, done, "wait surfaces the fault at completion time");
+    }
+
+    #[test]
+    fn straggler_slows_only_its_ost_and_window() {
+        let cfg = PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() };
+        // stripe 64, 4 OSTs: offset 0 → OST 0, offset 64 → OST 1.
+        let plain = Pfs::new(cfg);
+        let slow = Pfs::with_faults(
+            cfg,
+            FaultPlan {
+                stragglers: vec![crate::fault::StragglerSpec {
+                    ost: 0,
+                    multiplier: 4.0,
+                    from_ns: 0,
+                    until_ns: u64::MAX,
+                }],
+                ..FaultPlan::default()
+            },
+        );
+        let (hp, hs) = (plain.open("f", 0), slow.open("f", 0));
+        let tp0 = hp.write(0, 0, &[1u8; 64]).unwrap();
+        let ts0 = hs.write(0, 0, &[1u8; 64]).unwrap();
+        assert!(ts0 > tp0, "straggler OST must be slower: {ts0} vs {tp0}");
+        assert!(slow.stats().straggler_ns > 0);
+        let extra = slow.stats().straggler_ns;
+        // OST 1 is unaffected: same service time on both file systems.
+        let tp1 = hp.write(tp0, 64, &[2u8; 64]).unwrap();
+        let ts1 = hs.write(ts0, 64, &[2u8; 64]).unwrap();
+        assert_eq!(tp1 - tp0, ts1 - ts0, "other OSTs must be unaffected");
+        assert_eq!(slow.stats().straggler_ns, extra);
+    }
+
+    #[test]
+    fn lock_stall_charged_on_grant() {
+        let mk = |stall| {
+            let pfs = if stall > 0 {
+                Pfs::with_faults(
+                    locking_cfg(false),
+                    FaultPlan { lock_stall_ns: stall, ..FaultPlan::default() },
+                )
+            } else {
+                Pfs::new(locking_cfg(false))
+            };
+            let h = pfs.open("f", 0);
+            h.write(0, 0, &[1u8; 16]).unwrap()
+        };
+        let base = mk(0);
+        let stalled = mk(10_000);
+        assert_eq!(stalled, base + 10_000, "stall charged once per grant");
+    }
+
+    #[test]
     fn set_size_truncates_and_extends() {
         let pfs = tiny();
         let h = pfs.open("f", 0);
-        h.write(0, 0, &[7u8; 100]);
+        h.write(0, 0, &[7u8; 100]).unwrap();
         h.set_size(0, 40);
         assert_eq!(h.size(), 40);
         let mut buf = [9u8; 60];
-        h.read(0, 0, &mut buf);
+        h.read(0, 0, &mut buf).unwrap();
         assert_eq!(&buf[..40], &[7u8; 40]);
         assert_eq!(&buf[40..], &[0u8; 20], "truncated region must read zero");
         h.set_size(0, 200);
@@ -936,12 +1261,12 @@ mod tests {
     fn truncate_discards_cached_dirty_pages() {
         let pfs = Pfs::new(locking_cfg(true));
         let h = pfs.open("f", 0);
-        h.write(0, 0, &[5u8; 64]); // cached dirty
+        h.write(0, 0, &[5u8; 64]).unwrap(); // cached dirty
         h.set_size(0, 16);
-        h.flush(0);
+        h.flush(0).unwrap();
         let g = pfs.open("f", 1);
         let mut buf = [1u8; 64];
-        g.read(0, 0, &mut buf);
+        g.read(0, 0, &mut buf).unwrap();
         assert_eq!(&buf[..16], &[5u8; 16]);
         assert_eq!(&buf[16..], &[0u8; 48], "dirty pages past EOF must not resurrect");
     }
@@ -950,13 +1275,13 @@ mod tests {
     fn preallocate_extends_without_shrinking() {
         let pfs = tiny();
         let h = pfs.open("f", 0);
-        h.write(0, 0, &[3u8; 32]);
+        h.write(0, 0, &[3u8; 32]).unwrap();
         h.preallocate(0, 512);
         assert_eq!(h.size(), 512);
         h.preallocate(0, 100); // never shrinks
         assert_eq!(h.size(), 512);
         let mut buf = [9u8; 8];
-        h.read(0, 0, &mut buf);
+        h.read(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [3u8; 8]);
     }
 
@@ -964,9 +1289,9 @@ mod tests {
     fn lock_reacquire_free() {
         let pfs = Pfs::new(locking_cfg(false));
         let h = pfs.open("f", 0);
-        h.write(0, 0, &[0u8; 64]);
+        h.write(0, 0, &[0u8; 64]).unwrap();
         assert_eq!(pfs.stats().lock_grants, 1);
-        h.write(0, 0, &[0u8; 64]);
+        h.write(0, 0, &[0u8; 64]).unwrap();
         assert_eq!(pfs.stats().lock_grants, 1, "covered reacquire must be free");
     }
 
@@ -975,12 +1300,12 @@ mod tests {
         let pfs = Pfs::new(locking_cfg(false));
         let a = pfs.open("f", 0);
         let b = pfs.open("f", 1);
-        a.write(0, 0, &[1u8; 32]);
-        b.write(0, 32, &[2u8; 32]); // same stripe -> conflict
+        a.write(0, 0, &[1u8; 32]).unwrap();
+        b.write(0, 32, &[2u8; 32]).unwrap(); // same stripe -> conflict
         assert_eq!(pfs.stats().lock_revocations, 1);
         // Different stripes -> no new conflict.
         let before = pfs.stats().lock_revocations;
-        a.write(0, 64, &[1u8; 16]);
+        a.write(0, 64, &[1u8; 16]).unwrap();
         assert_eq!(pfs.stats().lock_revocations, before);
     }
 
@@ -989,9 +1314,9 @@ mod tests {
         let pfs = Pfs::new(locking_cfg(true));
         let h = pfs.open("f", 0);
         let data: Vec<u8> = (0..100u32).map(|i| (i % 251) as u8).collect();
-        h.write(0, 7, &data);
+        h.write(0, 7, &data).unwrap();
         let mut buf = vec![0u8; 100];
-        h.read(0, 7, &mut buf);
+        h.read(0, 7, &mut buf).unwrap();
         assert_eq!(buf, data);
     }
 
@@ -999,9 +1324,9 @@ mod tests {
     fn cached_writes_defer_ost_io() {
         let pfs = Pfs::new(locking_cfg(true));
         let h = pfs.open("f", 0);
-        h.write(0, 0, &[1u8; 64]); // page-aligned, fresh file: no OST traffic
+        h.write(0, 0, &[1u8; 64]).unwrap(); // page-aligned, fresh file: no OST traffic
         assert_eq!(pfs.stats().ost_requests, 0);
-        let t = h.flush(0);
+        let t = h.flush(0).unwrap();
         assert!(pfs.stats().ost_requests > 0);
         assert!(t > 0);
         assert_eq!(pfs.stats().flush_bytes, 64);
@@ -1012,10 +1337,10 @@ mod tests {
         let pfs = Pfs::new(locking_cfg(true));
         let a = pfs.open("f", 0);
         let b = pfs.open("f", 1);
-        a.write(0, 0, &[5u8; 32]); // cached dirty in a
+        a.write(0, 0, &[5u8; 32]).unwrap(); // cached dirty in a
         // b reads the same stripe: revokes a's lock, forcing the flush.
         let mut buf = [0u8; 32];
-        b.read(0, 0, &mut buf);
+        b.read(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [5u8; 32]);
         assert_eq!(pfs.stats().lock_revocations, 1);
         assert_eq!(pfs.stats().flush_bytes, 32);
@@ -1025,12 +1350,12 @@ mod tests {
     fn close_flushes_and_releases() {
         let pfs = Pfs::new(locking_cfg(true));
         let a = pfs.open("f", 0);
-        a.write(0, 0, &[3u8; 16]);
-        a.close(0);
+        a.write(0, 0, &[3u8; 16]).unwrap();
+        a.close(0).unwrap();
         // Data persisted.
         let b = pfs.open("f", 1);
         let mut buf = [0u8; 16];
-        b.read(0, 0, &mut buf);
+        b.read(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [3u8; 16]);
         // No revocation needed: a's locks were released.
         assert_eq!(pfs.stats().lock_revocations, 0);
@@ -1040,14 +1365,14 @@ mod tests {
     fn cached_partial_page_fill_reads_existing_data() {
         let pfs = Pfs::new(locking_cfg(true));
         let a = pfs.open("f", 0);
-        a.write(0, 0, &[9u8; 64]);
-        a.close(0);
+        a.write(0, 0, &[9u8; 64]).unwrap();
+        a.close(0).unwrap();
         let before = pfs.stats().cache_fills;
         let b = pfs.open("f", 1);
-        b.write(0, 4, &[1u8; 4]); // partial page over existing data
+        b.write(0, 4, &[1u8; 4]).unwrap(); // partial page over existing data
         assert_eq!(pfs.stats().cache_fills - before, 1);
         let mut buf = [0u8; 16];
-        b.read(0, 0, &mut buf);
+        b.read(0, 0, &mut buf).unwrap();
         assert_eq!(&buf[..8], &[9, 9, 9, 9, 1, 1, 1, 1]);
     }
 
@@ -1059,8 +1384,8 @@ mod tests {
         let a = pfs.open("f", 0);
         let b = pfs.open("f", 1);
         for step in 0..10u64 {
-            a.write(step, 0, &[1u8; 64]);
-            b.write(step, 64, &[2u8; 64]);
+            a.write(step, 0, &[1u8; 64]).unwrap();
+            b.write(step, 64, &[2u8; 64]).unwrap();
         }
         assert_eq!(pfs.stats().lock_grants, 2);
         assert_eq!(pfs.stats().lock_revocations, 0);
@@ -1075,8 +1400,8 @@ mod tests {
         let b = pfs.open("f", 1);
         for step in 0..6u64 {
             let base = step * 32; // shifts across the 64-byte stripes
-            a.write(step, base, &[1u8; 64]);
-            b.write(step, base + 64, &[2u8; 64]);
+            a.write(step, base, &[1u8; 64]).unwrap();
+            b.write(step, base + 64, &[2u8; 64]).unwrap();
         }
         assert!(
             pfs.stats().lock_revocations >= 5,

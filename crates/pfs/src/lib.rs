@@ -11,14 +11,20 @@
 //!
 //! Data contents are always byte-exact; only *time* is modelled.
 //!
+//! Operations are fallible: an installed [`FaultPlan`] can inject
+//! transient per-OST request errors, straggler-OST service-time windows
+//! and lock-manager stalls, all deterministically from a seed. Without a
+//! plan, ops never fail and the timing is charge-identical to the
+//! pre-fault simulator.
+//!
 //! ```
 //! use flexio_pfs::{Pfs, PfsConfig};
 //!
 //! let pfs = Pfs::new(PfsConfig::test_tiny());
 //! let h = pfs.open("demo", 0);
-//! let t = h.write(0, 10, b"hello");
+//! let t = h.write(0, 10, b"hello").unwrap();
 //! let mut buf = [0u8; 5];
-//! let _t2 = h.read(t, 10, &mut buf);
+//! let _t2 = h.read(t, 10, &mut buf).unwrap();
 //! assert_eq!(&buf, b"hello");
 //! ```
 
@@ -27,13 +33,15 @@
 pub mod cache;
 pub mod config;
 pub mod extent;
+pub mod fault;
 pub mod fs;
 pub mod lock;
 
 pub use cache::{ClientCache, DirtyRun};
 pub use config::{PfsConfig, PfsCostModel};
 pub use extent::ExtentSet;
-pub use fs::{FileHandle, FileObj, NbOp, Pfs, PfsStats, StatsSnapshot};
+pub use fault::{FaultInjector, FaultPlan, PfsError, PfsErrorKind, StragglerSpec};
+pub use fs::{FileHandle, FileObj, NbGuard, NbOp, Pfs, PfsStats, StatsSnapshot};
 pub use lock::{Acquire, LockTable};
 
 #[cfg(all(test, feature = "proptests"))]
@@ -66,11 +74,11 @@ mod proptests {
             if op.write {
                 let data: Vec<u8> = (0..op.len).map(|i| stamp.wrapping_add(i as u8)).collect();
                 stamp = stamp.wrapping_add(17);
-                t = h.write(t, op.off, &data);
+                t = h.write(t, op.off, &data).unwrap();
                 reference[op.off as usize..op.off as usize + op.len].copy_from_slice(&data);
             } else {
                 let mut buf = vec![0u8; op.len];
-                t = h.read(t, op.off, &mut buf);
+                t = h.read(t, op.off, &mut buf).unwrap();
                 assert_eq!(
                     buf,
                     &reference[op.off as usize..op.off as usize + op.len],
@@ -79,7 +87,7 @@ mod proptests {
                 );
             }
         }
-        let t2 = h.close(t);
+        let t2 = h.close(t).unwrap();
         assert!(t2 >= t);
     }
 
@@ -118,14 +126,14 @@ mod proptests {
             // Client 0 owns [0, 512), client 1 owns [512, 1024).
             for i in 0..8u64 {
                 let o = (seed + i * 37) % 448;
-                a.write(i, o, &[i as u8 + 1; 64]);
-                b.write(i, 512 + o, &[i as u8 + 101; 64]);
+                a.write(i, o, &[i as u8 + 1; 64]).unwrap();
+                b.write(i, 512 + o, &[i as u8 + 101; 64]).unwrap();
             }
-            a.close(100);
-            b.close(100);
+            a.close(100).unwrap();
+            b.close(100).unwrap();
             let c = pfs.open("f", 2);
             let mut buf = vec![0u8; 1024];
-            c.read(0, 0, &mut buf);
+            c.read(0, 0, &mut buf).unwrap();
             // Every written byte must be one of the stamps from the correct half.
             for (i, &v) in buf.iter().enumerate() {
                 if v != 0 {
@@ -143,9 +151,9 @@ mod proptests {
         fn time_monotone(now in 0u64..10_000_000, len in 1usize..200) {
             let pfs = Pfs::new(PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() });
             let h = pfs.open("f", 0);
-            let t = h.write(now, 0, &vec![1u8; len]);
+            let t = h.write(now, 0, &vec![1u8; len]).unwrap();
             prop_assert!(t > now);
-            let t2 = h.read(t, 0, &mut vec![0u8; len]);
+            let t2 = h.read(t, 0, &mut vec![0u8; len]).unwrap();
             prop_assert!(t2 > t);
         }
     }

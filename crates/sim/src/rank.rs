@@ -62,6 +62,15 @@ pub struct Stats {
     /// collective engine's pipeline (1 = strictly serial). Recorded via
     /// [`Rank::note_pipeline_depth`]; a watermark, not an accumulator.
     pub pipeline_depth_used: u64,
+    /// File-system requests this rank re-issued after a transient fault
+    /// (collective-engine retry loops; [`Rank::note_io_retry`]).
+    pub io_retries: u64,
+    /// Buffer cycles during which the engine observed a straggling
+    /// aggregator (EWMA service time ≥ 2× the others' average).
+    pub degraded_cycles: u64,
+    /// Times the flexible engine rebalanced persistent file realms away
+    /// from a straggling aggregator for subsequent collective calls.
+    pub realms_rebalanced: u64,
 }
 
 impl Stats {
@@ -249,6 +258,21 @@ impl Rank {
     pub fn note_pipeline_depth(&self, depth: u64) {
         let mut s = self.stats.borrow_mut();
         s.pipeline_depth_used = s.pipeline_depth_used.max(depth);
+    }
+
+    /// Record one retried file-system request.
+    pub fn note_io_retry(&self) {
+        self.stats.borrow_mut().io_retries += 1;
+    }
+
+    /// Record a buffer cycle run while an aggregator straggled.
+    pub fn note_degraded_cycle(&self) {
+        self.stats.borrow_mut().degraded_cycles += 1;
+    }
+
+    /// Record a persistent-file-realm rebalance away from a straggler.
+    pub fn note_realms_rebalanced(&self) {
+        self.stats.borrow_mut().realms_rebalanced += 1;
     }
 
     /// Record a flatten-cache probe outcome.
@@ -544,7 +568,7 @@ impl Rank {
         self.finish_coll();
         debug_assert_eq!(subtree.len(), 1);
         debug_assert_eq!(subtree[0].0, self.rank);
-        subtree.pop().unwrap().1
+        subtree.pop().expect("scatterv: own block must remain after tree forwarding").1
     }
 
     /// Allreduce over `u64` with a binary operator (gather + local fold).
@@ -552,9 +576,15 @@ impl Rank {
         let parts = self.allgatherv(&val.to_le_bytes());
         parts
             .iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
+            .map(|b| {
+                u64::from_le_bytes(
+                    b.as_slice()
+                        .try_into()
+                        .expect("allreduce_u64: every contribution must be exactly 8 bytes"),
+                )
+            })
             .reduce(op)
-            .unwrap()
+            .expect("allreduce_u64: a world always has at least one rank")
     }
 
     /// Maximum of `val` across ranks.
@@ -586,7 +616,11 @@ fn encode_blocks(blocks: &[(usize, Vec<u8>)]) -> Vec<u8> {
 }
 
 fn decode_blocks(buf: &[u8]) -> Vec<(usize, Vec<u8>)> {
-    let rd = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
+    let rd = |i: usize| {
+        u64::from_le_bytes(
+            buf[i..i + 8].try_into().expect("decode_blocks: truncated scatterv header"),
+        )
+    };
     let n = rd(0) as usize;
     let mut out = Vec::with_capacity(n);
     let mut pos = 8usize;

@@ -51,14 +51,14 @@ fn main() {
             f.write_all(&buf, &Datatype::bytes(n.max(1)), (n > 0) as u64).unwrap();
         }
         let elapsed = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(elapsed)
     });
 
     // Verify every byte of every time step against the stamps.
     let h = pfs.open("climate.nc", usize::MAX - 1);
     let mut img = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut img);
+    h.read(0, 0, &mut img).unwrap();
     spec.verify(&img).expect("file verification");
 
     let total = spec.bytes_per_step() * spec.steps;

@@ -73,7 +73,7 @@ fn time_with(assigner: Arc<dyn RealmAssigner>, nprocs: usize) -> u64 {
             f.write_all(&data, &Datatype::bytes(block), 1).unwrap();
         }
         let elapsed = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(elapsed)
     });
     out[0]

@@ -42,7 +42,7 @@ fn main() {
         let read_ns = rank.now() - t1;
         assert_eq!(back, data, "read-back mismatch on rank {}", rank.rank());
 
-        file.close();
+        file.close().unwrap();
         (write_ns, read_ns)
     });
 

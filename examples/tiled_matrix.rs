@@ -43,7 +43,7 @@ fn main() {
             let t0 = rank.now();
             f.write_all(&data, &Datatype::bytes(tile_bytes), 1).unwrap();
             let elapsed = rank.now() - t0;
-            f.close();
+            f.close().unwrap();
             rank.allreduce_max(elapsed)
         });
 
@@ -52,7 +52,7 @@ fn main() {
         for (r, c, want) in [(0, 0, 1u8), (0, cols - 1, 2), (rows - 1, 0, 3), (rows - 1, cols - 1, 4)]
         {
             let mut b = [0u8; 1];
-            h.read(0, (r * cols + c) * elem, &mut b);
+            h.read(0, (r * cols + c) * elem, &mut b).unwrap();
             assert_eq!(b[0], want, "element ({r},{c})");
         }
         let total = rows * cols * elem;

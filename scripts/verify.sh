@@ -29,6 +29,15 @@ cargo test -q --release --offline
 if [ "$THOROUGH" = 1 ]; then
   echo "== PROPTEST_CASES=512 cargo test -q --release --offline (property sweep) =="
   PROPTEST_CASES=512 cargo test -q --release --offline
+
+  # Chaos sweep: the fault-injection suite with an explicitly pinned
+  # base seed, so a failure here reproduces verbatim from the log.
+  # Override FLEXIO_PROP_SEED / PROPTEST_CASES in the environment to
+  # explore a different slice of the fault space.
+  echo "== chaos sweep (tests/fault_injection.rs) =="
+  FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+    PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+    cargo test -q --release --offline --test fault_injection
 fi
 
 echo "== tier-1 verification passed =="

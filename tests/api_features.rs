@@ -43,13 +43,13 @@ fn darray_block_cyclic_collective_write() {
             // Element payload = rank id + 1 in every byte.
             let data = vec![rank.rank() as u8 + 1; bytes as usize];
             f.write_all(&data, &Datatype::bytes(bytes), 1).unwrap();
-            f.close();
+            f.close().unwrap();
         });
     }
     let h = pfs.open("da", 99);
     assert_eq!(h.size(), n * n * elem);
     let mut img = vec![0u8; (n * n * elem) as usize];
-    h.read(0, 0, &mut img);
+    h.read(0, 0, &mut img).unwrap();
     for r in 0..n {
         for c in 0..n {
             // Owner: row cyclic(1) over 2 -> r % 2; col block -> c / 4.
@@ -76,12 +76,12 @@ fn subarray_3d_collective_write() {
             f.set_view(0, &Datatype::bytes(1), &dt).unwrap();
             let data = vec![rank.rank() as u8 + 1; 8];
             f.write_all(&data, &Datatype::bytes(8), 1).unwrap();
-            f.close();
+            f.close().unwrap();
         });
     }
     let h = pfs.open("cube", 99);
     let mut img = vec![0u8; 64];
-    h.read(0, 0, &mut img);
+    h.read(0, 0, &mut img).unwrap();
     for z in 0..4u64 {
         for y in 0..4u64 {
             for x in 0..4u64 {
@@ -117,11 +117,11 @@ fn info_hints_drive_collective() {
         f.set_view(rank.rank() as u64 * 32, &bt, &ft).unwrap();
         let data = vec![rank.rank() as u8 + 1; 256];
         f.write_all(&data, &Datatype::bytes(256), 1).unwrap();
-        f.close();
+        f.close().unwrap();
     });
     let h = pfs.open("info", 99);
     let mut img = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut img);
+    h.read(0, 0, &mut img).unwrap();
     for (i, &b) in img.iter().enumerate() {
         assert_eq!(b, ((i / 32) % 4) as u8 + 1, "byte {i}");
     }
@@ -146,7 +146,7 @@ fn profile_attributes_engine_costs() {
             f.set_view(rank.rank() as u64 * 128, &Datatype::bytes(1), &ft).unwrap();
             let data = vec![1u8; (region * 256) as usize];
             f.write_all(&data, &Datatype::bytes(region * 256), 1).unwrap();
-            f.close();
+            f.close().unwrap();
             rank.stats()
         });
         Profile::from_stats(&stats)
@@ -189,7 +189,7 @@ fn set_size_and_preallocate_are_collective() {
         f.read_at(0, &mut buf, &Datatype::bytes(64), 1).unwrap();
         assert_eq!(&buf[..32], &[1u8; 32]);
         assert_eq!(&buf[32..], &[0u8; 32]);
-        f.close();
+        f.close().unwrap();
     });
 }
 
@@ -217,12 +217,12 @@ fn engines_agree_on_darray_pattern() {
                     let data: Vec<u8> =
                         (0..n).map(|i| (rank.rank() as u64 * 60 + i % 59) as u8).collect();
                     f.write_all(&data, &Datatype::bytes(n), 1).unwrap();
-                    f.close();
+                    f.close().unwrap();
                 });
             }
             let h = pfs.open("x", 99);
             let mut img = vec![0u8; h.size() as usize];
-            h.read(0, 0, &mut img);
+            h.read(0, 0, &mut img).unwrap();
             img
         })
         .collect();

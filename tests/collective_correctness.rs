@@ -24,7 +24,7 @@ fn test_pfs(locking: bool, cache: bool) -> Arc<Pfs> {
 fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
     let h = pfs.open(path, usize::MAX - 1);
     let mut out = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut out);
+    h.read(0, 0, &mut out).unwrap();
     out
 }
 
@@ -40,7 +40,7 @@ fn hpio_write_and_verify(spec: HpioSpec, style: TypeStyle, hints: Hints) {
             f.set_view(disp, &etype, &ftype).unwrap();
             let buf = spec.make_buffer(rank.rank());
             f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-            f.close();
+            f.close().unwrap();
         });
     }
     let img = read_file(&pfs, "hpio");
@@ -147,7 +147,7 @@ fn engines_byte_identical() {
                 f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
                 let buf = spec.make_buffer(rank.rank());
                 f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-                f.close();
+                f.close().unwrap();
             });
         }
         images.push(read_file(&pfs, "x"));
@@ -169,7 +169,7 @@ fn collective_read_returns_written_data() {
             f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
             let mut back = vec![0u8; buf.len()];
             f.read_all(&mut back, &spec.mem_type(), spec.mem_count()).unwrap();
-            f.close();
+            f.close().unwrap();
             (buf, back)
         });
         for (rank, (buf, back)) in outs.into_iter().enumerate() {
@@ -225,7 +225,7 @@ fn timestep_pattern_with_pfr_and_cache() {
                     f.write_all(&[], &Datatype::bytes(1), 0).unwrap();
                 }
             }
-            f.close();
+            f.close().unwrap();
         });
     }
     let img = read_file(&pfs, "ts");
@@ -270,7 +270,7 @@ fn timestep_pattern_all_fig7_combos() {
                     let n = buf.len() as u64;
                     f.write_all(&buf, &Datatype::bytes(n.max(1)), (n > 0) as u64).unwrap();
                 }
-                f.close();
+                f.close().unwrap();
             });
         }
         let img = read_file(&pfs, "ts");
@@ -297,7 +297,7 @@ fn subarray_2d_tile_write() {
             let n = (rows / 2) * (cols / 2);
             let data = vec![rank.rank() as u8 + 1; n as usize];
             f.write_all(&data, &Datatype::bytes(n), 1).unwrap();
-            f.close();
+            f.close().unwrap();
         });
     }
     let img = read_file(&pfs, "mat");
@@ -328,7 +328,7 @@ fn repeated_collectives_interleave_with_independents() {
         rank.barrier();
         let mut back = vec![0u8; 60];
         f.read_all(&mut back, &Datatype::bytes(60), 1).unwrap();
-        f.close();
+        f.close().unwrap();
         if rank.rank() == 0 {
             assert_eq!(&back[10..20], &[99u8; 10]);
             assert_eq!(&back[0..10], &[10u8; 10]);

@@ -1,0 +1,390 @@
+//! Chaos suite: deterministic fault injection through both engines.
+//!
+//! The fault model's contract is that faults perturb *time* and
+//! *outcomes*, never data, and that collective calls stay collective.
+//! Property-tested over random workloads, engines, hint combinations and
+//! fault plans (transient OST errors, straggler OSTs, lock stalls):
+//!
+//! * every rank of a collective call returns the same `Ok`/`Err`
+//!   outcome, and any error is a collectively-agreed
+//!   [`IoError::Transient`] — never a hang or a split outcome;
+//! * the bytes on disk and the bytes read back are identical to a
+//!   fault-free oracle run of the same workload, even when retries
+//!   exhaust mid-call;
+//! * retry accounting is conservative: `sum(io_retries)` across ranks
+//!   never exceeds the injector's `faults_injected`;
+//! * each rank's phase buckets still sum to its elapsed clock;
+//! * with no plan installed, every fault counter stays zero.
+
+use flexio::core::{Engine, ExchangeMode, Hints, IoError, MpiFile, PipelineDepth};
+use flexio::pfs::{FaultPlan, Pfs, PfsConfig, PfsCostModel, StragglerSpec};
+use flexio::sim::prop::Runner;
+use flexio::sim::{run, CostModel, Stats, XorShift64Star};
+use flexio::types::Datatype;
+use std::sync::Arc;
+
+/// One randomized chaos case: a tiled collective workload, the engine and
+/// hints to run it under, and the fault plan to inject.
+#[derive(Debug, Clone)]
+struct Chaos {
+    nprocs: usize,
+    /// Bytes per filetype block.
+    block: u64,
+    /// Filetype repetitions per collective call.
+    reps: u64,
+    /// Collective writes before the final collective read.
+    steps: u64,
+    aggs: usize,
+    cb: usize,
+    engine: Engine,
+    exchange: ExchangeMode,
+    pfr: bool,
+    depth: PipelineDepth,
+    io_retries: u32,
+    backoff_us: u64,
+    locking: bool,
+    plan: FaultPlan,
+}
+
+fn random_chaos(rng: &mut XorShift64Star) -> Chaos {
+    let nprocs = 2 + (rng.next_u64() % 5) as usize; // 2..=6
+    let mut plan = FaultPlan::transient(rng.next_u64(), (rng.next_u64() % 251) as f64 / 1000.0);
+    if rng.next_u64().is_multiple_of(3) {
+        plan.stragglers.push(StragglerSpec {
+            ost: (rng.next_u64() % 4) as usize,
+            multiplier: 1.0 + (rng.next_u64() % 8) as f64,
+            from_ns: 0,
+            until_ns: u64::MAX,
+        });
+    }
+    let locking = rng.next_u64().is_multiple_of(4);
+    if locking && rng.next_u64().is_multiple_of(2) {
+        plan.lock_stall_ns = 100 + rng.next_u64() % 2000;
+    }
+    Chaos {
+        nprocs,
+        block: 8 * (1 + rng.next_u64() % 8), // 8..=64
+        reps: 4 + rng.next_u64() % 21,       // 4..=24
+        steps: 1 + rng.next_u64() % 3,
+        aggs: 1 + (rng.next_u64() as usize) % nprocs,
+        cb: [128, 256, 512, 1024][(rng.next_u64() % 4) as usize],
+        engine: if rng.next_u64().is_multiple_of(2) { Engine::Flexible } else { Engine::Romio },
+        exchange: if rng.next_u64().is_multiple_of(2) {
+            ExchangeMode::Nonblocking
+        } else {
+            ExchangeMode::Alltoallw
+        },
+        pfr: rng.next_u64().is_multiple_of(2),
+        depth: match rng.next_u64() % 4 {
+            0..=2 => PipelineDepth::Fixed(1 + (rng.next_u64() % 4) as u32),
+            _ => PipelineDepth::Auto,
+        },
+        io_retries: 10 + (rng.next_u64() % 7) as u32, // 10..=16
+        backoff_us: rng.next_u64() % 300,
+        locking,
+        plan,
+    }
+}
+
+fn chaos_pfs(c: &Chaos, faults: bool) -> Arc<Pfs> {
+    let cfg = PfsConfig {
+        n_osts: 4,
+        stripe_size: 512,
+        page_size: 64,
+        locking: c.locking,
+        lock_expansion: false,
+        client_cache: false,
+        cost: PfsCostModel::default(),
+    };
+    if faults {
+        Pfs::with_faults(cfg, c.plan.clone())
+    } else {
+        Pfs::new(cfg)
+    }
+}
+
+fn chaos_hints(c: &Chaos) -> Hints {
+    Hints {
+        engine: c.engine,
+        cb_nodes: Some(c.aggs),
+        cb_buffer_size: c.cb,
+        exchange: c.exchange,
+        persistent_file_realms: c.pfr,
+        pipeline_depth: c.depth,
+        io_retries: c.io_retries,
+        retry_backoff_us: c.backoff_us,
+        ..Hints::default()
+    }
+}
+
+fn step_data(rank: usize, step: u64, len: usize) -> Vec<u8> {
+    let mut rng = XorShift64Star::new((rank as u64) << 32 | (step + 1));
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Raw file image via an out-of-world probe handle. The probe request
+/// itself may draw a fault; the bytes are exact either way.
+fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
+    let h = pfs.open(path, usize::MAX - 1);
+    let mut out = vec![0u8; h.size() as usize];
+    let _ = h.read(0, 0, &mut out);
+    out
+}
+
+/// Each rank's `(elapsed, stats, per-call results, read-back)`.
+type RankOutcome = (u64, Stats, Vec<Result<(), IoError>>, Vec<u8>);
+
+/// Run `c`'s workload (`steps` collective writes, one collective read),
+/// with or without the fault plan installed. Returns the file image, the
+/// injector's fault count, and every rank's outcome.
+fn roundtrip(c: &Chaos, faults: bool) -> (Vec<u8>, u64, Vec<RankOutcome>) {
+    let pfs = chaos_pfs(c, faults);
+    let hints = chaos_hints(c);
+    let w = c.clone();
+    let inner = Arc::clone(&pfs);
+    let out = run(c.nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &inner, "chaos", hints.clone()).unwrap();
+        let ftype =
+            Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
+        f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
+        let len = (w.reps * w.block) as usize;
+        let mut results = Vec::new();
+        for s in 0..w.steps {
+            let data = step_data(rank.rank(), s, len);
+            results.push(f.write_all(&data, &Datatype::bytes(len as u64), 1));
+        }
+        let mut back = vec![0u8; len];
+        results.push(f.read_all(&mut back, &Datatype::bytes(len as u64), 1));
+        // The close-time flush has no retry loop; a faulted close still
+        // releases everything, so the outcome is not part of the property.
+        let _ = f.close();
+        (rank.now(), rank.stats(), results, back)
+    });
+    let img = read_file(&pfs, "chaos");
+    (img, pfs.stats().faults_injected, out)
+}
+
+/// The tentpole chaos property: under any random plan, outcomes agree on
+/// every rank, data matches the fault-free oracle byte for byte, and the
+/// retry ledger never exceeds the faults actually injected.
+#[test]
+fn chaos_collectives_stay_collective() {
+    Runner::new("chaos_collectives_stay_collective")
+        .cases(24)
+        .regressions(include_str!("fault_injection.proptest-regressions"))
+        .run(random_chaos, |c| {
+            let (img_f, faults, out_f) = roundtrip(c, true);
+            let (img_o, oracle_faults, out_o) = roundtrip(c, false);
+            assert_eq!(oracle_faults, 0, "oracle must inject nothing");
+            assert_eq!(img_f, img_o, "file image must not depend on faults");
+            let lead = &out_f[0].2;
+            for (r, (now, s, results, back)) in out_f.iter().enumerate() {
+                assert_eq!(results, lead, "rank {r} collective outcome differs");
+                for res in results {
+                    if let Err(e) = res {
+                        assert!(
+                            matches!(e, IoError::Transient(_)),
+                            "rank {r}: collective error must be Transient, got {e:?}"
+                        );
+                    }
+                }
+                assert_eq!(back, &out_o[r].3, "rank {r} read-back diverges");
+                assert_eq!(s.phase_ns.iter().sum::<u64>(), *now, "rank {r} phase sum");
+            }
+            let retries: u64 = out_f.iter().map(|o| o.1.io_retries).sum();
+            assert!(retries <= faults, "retries {retries} exceed faults {faults}");
+            for (r, o) in out_o.iter().enumerate() {
+                assert_eq!(o.1.io_retries, 0, "oracle rank {r} retried");
+                assert_eq!(o.1.degraded_cycles, 0, "oracle rank {r} degraded");
+                assert_eq!(o.1.realms_rebalanced, 0, "oracle rank {r} rebalanced");
+            }
+        });
+}
+
+/// At `transient_rate` 1.0 every retry budget exhausts: each collective
+/// call must return the *same* `IoError::Transient` on every rank — the
+/// agreement reduction, not luck — while the data still lands.
+#[test]
+fn exhausted_retries_agree_on_one_error() {
+    for engine in [Engine::Flexible, Engine::Romio] {
+        let c = Chaos {
+            nprocs: 4,
+            block: 64,
+            reps: 8,
+            steps: 2,
+            aggs: 2,
+            cb: 512,
+            engine,
+            exchange: ExchangeMode::Nonblocking,
+            pfr: false,
+            depth: PipelineDepth::Fixed(2),
+            io_retries: 2,
+            backoff_us: 50,
+            locking: false,
+            plan: FaultPlan::transient(7, 1.0),
+        };
+        let (img_f, faults, out_f) = roundtrip(&c, true);
+        let (img_o, _, _) = roundtrip(&c, false);
+        assert!(faults > 0, "{engine:?}: rate 1.0 must inject faults");
+        assert_eq!(img_f, img_o, "{engine:?}: bytes must land despite exhaustion");
+        let lead = &out_f[0].2;
+        assert!(
+            lead.iter().all(|r| matches!(r, Err(IoError::Transient(_)))),
+            "{engine:?}: every call must exhaust its retries, got {lead:?}"
+        );
+        for (r, o) in out_f.iter().enumerate() {
+            assert_eq!(&o.2, lead, "{engine:?}: rank {r} disagrees on the error");
+        }
+        let retries: u64 = out_f.iter().map(|o| o.1.io_retries).sum();
+        assert!(retries <= faults, "{engine:?}: retries {retries} > faults {faults}");
+    }
+}
+
+/// No plan installed: the fault path must be invisible — zero retries,
+/// zero degradation, zero injected faults, all calls `Ok`.
+#[test]
+fn disabled_faults_count_nothing() {
+    for engine in [Engine::Flexible, Engine::Romio] {
+        let c = Chaos {
+            nprocs: 4,
+            block: 32,
+            reps: 16,
+            steps: 2,
+            aggs: 3,
+            cb: 256,
+            engine,
+            exchange: ExchangeMode::Alltoallw,
+            pfr: true,
+            depth: PipelineDepth::Auto,
+            io_retries: 4,
+            backoff_us: 100,
+            locking: false,
+            plan: FaultPlan::default(),
+        };
+        let (_, faults, out) = roundtrip(&c, false);
+        assert_eq!(faults, 0, "{engine:?}: faults injected without a plan");
+        for (r, (_, s, results, _)) in out.iter().enumerate() {
+            assert!(results.iter().all(|x| x.is_ok()), "{engine:?}: rank {r} errored");
+            assert_eq!(s.io_retries, 0, "{engine:?}: rank {r} retried");
+            assert_eq!(s.degraded_cycles, 0, "{engine:?}: rank {r} degraded");
+            assert_eq!(s.realms_rebalanced, 0, "{engine:?}: rank {r} rebalanced");
+        }
+    }
+}
+
+/// A persistent straggler OST under the flexible engine with persistent
+/// file realms: the EWMA detector must flag degraded cycles and the
+/// engine must rebalance realms away from the slow aggregator — without
+/// changing a single byte relative to the fault-free oracle.
+#[test]
+fn straggler_degrades_and_rebalances() {
+    // Geometry chosen so each aggregator's realm maps to exactly one
+    // OST: 4 ranks x 64 B blocks x 64 reps = 16 KiB span, 2 aggregators
+    // -> 8 KiB block-cyclic realms, stripe 8 KiB over 2 OSTs.
+    let c = Chaos {
+        nprocs: 4,
+        block: 64,
+        reps: 64,
+        steps: 4,
+        aggs: 2,
+        cb: 2048,
+        engine: Engine::Flexible,
+        exchange: ExchangeMode::Nonblocking,
+        pfr: true,
+        depth: PipelineDepth::Fixed(1),
+        io_retries: 4,
+        backoff_us: 0,
+        locking: false,
+        plan: FaultPlan::straggler(0, 8.0),
+    };
+    let pfs_cfg = PfsConfig {
+        n_osts: 2,
+        stripe_size: 8192,
+        page_size: 64,
+        locking: false,
+        lock_expansion: false,
+        client_cache: false,
+        cost: PfsCostModel::default(),
+    };
+    let mut hints = chaos_hints(&c);
+    hints.fr_alignment = Some(2048);
+    let run_once = |pfs: Arc<Pfs>| {
+        let w = c.clone();
+        let hints = hints.clone();
+        let inner = Arc::clone(&pfs);
+        let out = run(w.nprocs, CostModel::default(), move |rank| {
+            let mut f = MpiFile::open(rank, &inner, "slow", hints.clone()).unwrap();
+            let ftype =
+                Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
+            f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
+            let len = (w.reps * w.block) as usize;
+            for s in 0..w.steps {
+                let data = step_data(rank.rank(), s, len);
+                f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
+            }
+            f.close().unwrap();
+            (rank.now(), rank.stats())
+        });
+        (read_file(&pfs, "slow"), out)
+    };
+    let (img_s, out_s) = run_once(Pfs::with_faults(pfs_cfg, c.plan.clone()));
+    let (img_o, out_o) = run_once(Pfs::new(pfs_cfg));
+    assert_eq!(img_s, img_o, "rebalancing must not change the bytes");
+    let degraded: u64 = out_s.iter().map(|(_, s)| s.degraded_cycles).sum();
+    let rebalanced: u64 = out_s.iter().map(|(_, s)| s.realms_rebalanced).sum();
+    assert!(degraded > 0, "straggler OST never flagged as a degraded cycle");
+    assert!(rebalanced > 0, "no realm rebalancing despite a persistent straggler");
+    for (r, (_, s)) in out_o.iter().enumerate() {
+        assert_eq!(s.degraded_cycles, 0, "oracle rank {r} degraded");
+        assert_eq!(s.realms_rebalanced, 0, "oracle rank {r} rebalanced");
+    }
+}
+
+/// Lock-manager stalls move clocks, not bytes: with locking on, a
+/// stalled run finishes no earlier than the stall-free run and produces
+/// the identical image.
+#[test]
+fn lock_stalls_only_move_time() {
+    let mk = |stall: u64| {
+        let cfg = PfsConfig {
+            n_osts: 4,
+            stripe_size: 512,
+            page_size: 64,
+            locking: true,
+            lock_expansion: false,
+            client_cache: false,
+            cost: PfsCostModel::default(),
+        };
+        if stall > 0 {
+            Pfs::with_faults(cfg, FaultPlan { lock_stall_ns: stall, ..FaultPlan::default() })
+        } else {
+            Pfs::new(cfg)
+        }
+    };
+    let work = |pfs: Arc<Pfs>| {
+        let inner = Arc::clone(&pfs);
+        let out = run(4, CostModel::default(), move |rank| {
+            let mut f = MpiFile::open(rank, &inner, "dlm", Hints::default()).unwrap();
+            let ftype = Datatype::resized(0, 4 * 64, Datatype::bytes(64));
+            f.set_view(rank.rank() as u64 * 64, &Datatype::bytes(1), &ftype).unwrap();
+            let data = step_data(rank.rank(), 0, 1024);
+            f.write_all(&data, &Datatype::bytes(1024), 1).unwrap();
+            f.close().unwrap();
+            rank.now()
+        });
+        (read_file(&pfs, "dlm"), out)
+    };
+    let (img_fast, t_fast) = work(mk(0));
+    let (img_slow, t_slow) = work(mk(10_000));
+    assert_eq!(img_fast, img_slow, "lock stalls changed bytes");
+    for r in 0..4 {
+        assert!(
+            t_slow[r] >= t_fast[r],
+            "rank {r}: stalled run finished earlier ({} < {})",
+            t_slow[r],
+            t_fast[r]
+        );
+    }
+}

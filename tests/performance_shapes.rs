@@ -23,7 +23,7 @@ fn hpio_time(spec: HpioSpec, style: TypeStyle, hints: Hints, pfs: &Arc<Pfs>, pat
         let t0 = rank.now();
         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
         let t = rank.now() - t0;
-        f.close();
+        f.close().unwrap();
         rank.allreduce_max(t)
     });
     times[0]
@@ -54,7 +54,7 @@ fn fig4_shape_struct_processes_fewer_pairs_than_vector() {
             f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
             let buf = spec.make_buffer(rank.rank());
             f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-            f.close();
+            f.close().unwrap();
             rank.stats().pairs_processed
         });
         out.iter().sum::<u64>()
@@ -111,7 +111,7 @@ fn fig4_shape_old_metadata_volume_exceeds_new_struct() {
             f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
             let buf = spec.make_buffer(rank.rank());
             f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-            f.close();
+            f.close().unwrap();
             rank.stats().bytes_sent
         });
         out.iter().sum::<u64>()
@@ -211,7 +211,7 @@ fn fig7_shape_pfr_plus_alignment_minimizes_lock_traffic() {
                 let n = buf.len() as u64;
                 f.write_all(&buf, &Datatype::bytes(n.max(1)), (n > 0) as u64).unwrap();
             }
-            f.close();
+            f.close().unwrap();
         });
         pfs.stats().lock_revocations
     };
@@ -267,7 +267,7 @@ fn fig7_shape_pfr_alignment_fastest_overall() {
                 f.write_all(&buf, &Datatype::bytes(n.max(1)), (n > 0) as u64).unwrap();
             }
             let elapsed = rank.now() - t0;
-            f.close();
+            f.close().unwrap();
             rank.allreduce_max(elapsed)
         });
         out[0]
@@ -320,7 +320,7 @@ fn ablation_balanced_realms_beat_even_on_clustered_access() {
                 let t0 = rank.now();
                 f.write_all(&data, &Datatype::bytes(cluster + 1), 1).unwrap();
                 let el = rank.now() - t0;
-                f.close();
+                f.close().unwrap();
                 rank.allreduce_max(el)
             } else {
                 let ft = Datatype::bytes(cluster);
@@ -329,7 +329,7 @@ fn ablation_balanced_realms_beat_even_on_clustered_access() {
                 let t0 = rank.now();
                 f.write_all(&data, &Datatype::bytes(cluster), 1).unwrap();
                 let el = rank.now() - t0;
-                f.close();
+                f.close().unwrap();
                 rank.allreduce_max(el)
             }
         });
@@ -368,7 +368,7 @@ fn old_engine_single_buffer_copies_less_than_new() {
             f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
             let buf = spec.make_buffer(rank.rank());
             f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
-            f.close();
+            f.close().unwrap();
             rank.stats().memcpy_bytes
         });
         out.iter().sum::<u64>()

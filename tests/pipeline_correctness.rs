@@ -39,7 +39,7 @@ fn timed_pfs() -> Arc<Pfs> {
 fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
     let h = pfs.open(path, usize::MAX - 1);
     let mut out = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut out);
+    h.read(0, 0, &mut out).unwrap();
     out
 }
 
@@ -75,7 +75,7 @@ fn roundtrip(
         }
         let mut back = vec![0u8; len];
         f.read_all(&mut back, &Datatype::bytes(len as u64), 1).unwrap();
-        f.close();
+        f.close().unwrap();
         (rank.now(), rank.stats(), back)
     })
 }

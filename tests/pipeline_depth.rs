@@ -29,7 +29,7 @@ fn timed_pfs() -> Arc<Pfs> {
 fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
     let h = pfs.open(path, usize::MAX - 1);
     let mut out = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut out);
+    h.read(0, 0, &mut out).unwrap();
     out
 }
 
@@ -138,7 +138,7 @@ fn roundtrip(w: &Workload, depth: PipelineDepth) -> (Vec<u8>, Vec<RankOutcome>) 
         }
         let mut back = vec![0u8; len];
         f.read_all(&mut back, &Datatype::bytes(len as u64), 1).unwrap();
-        f.close();
+        f.close().unwrap();
         (rank.now(), rank.stats(), back)
     });
     (read_file(&pfs, "depth"), out)
@@ -194,7 +194,7 @@ fn fixture_run(hints: Hints) -> Vec<(u64, Stats)> {
         }
         let mut back = vec![0u8; len];
         f.read_all(&mut back, &Datatype::bytes(len as u64), 1).unwrap();
-        f.close();
+        f.close().unwrap();
         (rank.now(), rank.stats())
     });
     out

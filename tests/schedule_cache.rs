@@ -26,7 +26,7 @@ fn test_pfs() -> Arc<Pfs> {
 fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
     let h = pfs.open(path, usize::MAX - 1);
     let mut out = vec![0u8; h.size() as usize];
-    h.read(0, 0, &mut out);
+    h.read(0, 0, &mut out).unwrap();
     out
 }
 
@@ -67,7 +67,7 @@ fn checkpoint_write(
             f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
             snaps.push(rank.stats());
         }
-        f.close();
+        f.close().unwrap();
         snaps
     })
 }
@@ -185,7 +185,7 @@ fn view_change_invalidates_schedule() {
             f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
             f.write_all(&data, &Datatype::bytes(data.len() as u64), 1).unwrap();
         }
-        f.close();
+        f.close().unwrap();
         rank.stats()
     });
     for s in &stats {
@@ -216,7 +216,7 @@ fn read_replay_returns_correct_bytes() {
                 f.read_all(&mut got, &Datatype::bytes(want.len() as u64), 1).unwrap();
                 assert_eq!(got, want, "rank {} read back wrong bytes", rank.rank());
             }
-            f.close();
+            f.close().unwrap();
             rank.stats()
         })
     };
@@ -243,7 +243,7 @@ fn repeated_set_view_hits_flatten_cache() {
         // A *new* but structurally equal Datatype value: content hit.
         f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &mk()).unwrap();
         let after = rank.stats();
-        f.close();
+        f.close().unwrap();
         (before, after)
     });
     for (before, after) in &stats {
