@@ -13,7 +13,7 @@
 
 #![warn(missing_docs)]
 
-use flexio_core::{Hints, MpiFile};
+use flexio_core::{Engine, Hints, MpiFile};
 use flexio_hpio::{HpioSpec, TypeStyle};
 use flexio_pfs::Pfs;
 use flexio_sim::{run, CostModel};
@@ -67,6 +67,25 @@ impl Scale {
             if self.paper { "paper" } else { "default" },
             self.best_of
         )
+    }
+}
+
+/// Engines selected by the shared `--engine {romio,flexible,both}` flag
+/// (default `both` — the pipeline runs on shared machinery now, so the
+/// ablations compare engines at equal depth by default), labelled for
+/// CSV rows and table series.
+pub fn engines_from_args() -> Vec<(&'static str, Engine)> {
+    engines_from_arg_list(&std::env::args().collect::<Vec<_>>())
+}
+
+fn engines_from_arg_list(args: &[String]) -> Vec<(&'static str, Engine)> {
+    let choice =
+        args.iter().position(|a| a == "--engine").and_then(|i| args.get(i + 1)).map(String::as_str);
+    match choice {
+        Some("romio") => vec![("romio", Engine::Romio)],
+        Some("flexible") => vec![("flexible", Engine::Flexible)],
+        None | Some("both") => vec![("romio", Engine::Romio), ("flexible", Engine::Flexible)],
+        Some(other) => panic!("--engine must be romio, flexible, or both, got {other:?}"),
     }
 }
 
@@ -145,6 +164,21 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn engine_flag_selects_engines() {
+        let both = [("romio", Engine::Romio), ("flexible", Engine::Flexible)];
+        assert_eq!(engines_from_arg_list(&args(&["bin"])), both);
+        assert_eq!(engines_from_arg_list(&args(&["bin", "--engine", "both"])), both);
+        assert_eq!(
+            engines_from_arg_list(&args(&["bin", "--engine", "romio"])),
+            [("romio", Engine::Romio)]
+        );
+        assert_eq!(
+            engines_from_arg_list(&args(&["bin", "--engine", "flexible"])),
+            [("flexible", Engine::Flexible)]
+        );
     }
 
     #[test]

@@ -17,97 +17,25 @@
 //!   the double-buffer copy, charged here.
 //! * **Exchange flavour** (§5.4): sparse non-blocking, or a dense
 //!   alltoallw-style collective that skips pack/unpack copies.
+//!
+//! The buffer cycles themselves run on the shared N-deep pipeline core
+//! ([`crate::engine::pipeline`]): this module contributes the two
+//! [`CycleDriver`] halves per direction, the drive loops own the depth.
 
 use crate::engine::common::{
-    agree_error, ewma, group_by_window, merge_pieces, retry_io, ClientStream, Piece, PlanEntry,
+    agree_error, group_by_window, merge_pieces, retry_io, ClientStream, Piece, PlanEntry,
 };
+use crate::engine::pipeline::{self, CapPolicy, CycleDriver, StragglerVerdict};
 use crate::engine::schedule::{self, schedule_key, CycleSchedule, ExchangeSchedule};
 use crate::error::{IoError, Result};
-use crate::hints::{aggregator_ranks, ExchangeMode, Hints, PipelineDepth};
+use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
 use crate::meta::ClientAccess;
 use crate::realm::{AssignCtx, EvenAar, FileRealm, PersistentBlockCyclic, RealmAssigner};
 use flexio_io::{read_packed_nb, resolve, write_packed_nb, IoCompletion, Resolved};
-use flexio_pfs::{FileHandle, NbGuard, PfsError};
-use flexio_sim::{OverlapWindow, Phase, Rank};
+use flexio_pfs::FileHandle;
+use flexio_sim::{OverlapWindow, Rank};
 use flexio_types::{FlatType, MemLayout, Seg};
-use std::collections::VecDeque;
 use std::sync::Arc;
-
-/// Most in-flight completion windows any pipeline keeps (depth − 1). Past
-/// eight buffers the exchange can't keep even one OST busy per extra
-/// buffer, and real memory would run out long before virtual time cared.
-const MAX_INFLIGHT: usize = 7;
-
-/// How many buffer cycles may be in flight ahead of the one being
-/// exchanged — the resolved form of `flexio_double_buffer` +
-/// `flexio_pipeline_depth`, expressed as a *cap* on outstanding
-/// completion windows (cap = depth − 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CapPolicy {
-    /// Never exceed this many outstanding windows. 0 is the strictly
-    /// serial engine, 1 the classic two-buffer pipeline.
-    Fixed(usize),
-    /// Start at 1 (double buffering) and re-derive the cap after every
-    /// issue from the measured I/O:exchange duration ratio: I/O that runs
-    /// `r` times longer than an exchange needs `ceil(r)` cycles of
-    /// exchange work to hide behind. `bound` caps the ratio — an
-    /// aggregator's useful outstanding I/O is limited by its share of the
-    /// stripe width, since ops beyond that only queue on OSTs other
-    /// aggregators are driving (and the measured I/O time then includes
-    /// their queueing, which would talk the ratio into going ever
-    /// deeper).
-    Auto {
-        /// `clamp(2·n_osts / n_aggregators, 1, MAX_INFLIGHT)`.
-        bound: usize,
-    },
-}
-
-impl CapPolicy {
-    fn resolve(hints: &Hints, n_osts: usize, n_aggs: usize) -> CapPolicy {
-        if !hints.double_buffer {
-            return CapPolicy::Fixed(0);
-        }
-        match hints.pipeline_depth {
-            PipelineDepth::Auto => {
-                CapPolicy::Auto { bound: (2 * n_osts / n_aggs.max(1)).clamp(1, MAX_INFLIGHT) }
-            }
-            PipelineDepth::Fixed(d) => {
-                CapPolicy::Fixed(((d as usize).saturating_sub(1)).min(MAX_INFLIGHT))
-            }
-        }
-    }
-
-    /// The cap to start the cycle loop with.
-    fn initial_cap(self) -> usize {
-        match self {
-            CapPolicy::Fixed(c) => c,
-            CapPolicy::Auto { .. } => 1,
-        }
-    }
-
-    /// Re-derive the cap after an issue whose I/O occupied `io_ns` of
-    /// virtual time, the preceding exchange `exch_ns`. Fixed caps never
-    /// move.
-    fn adapt(self, io_ns: u64, exch_ns: u64) -> usize {
-        match self {
-            CapPolicy::Fixed(c) => c,
-            CapPolicy::Auto { bound } => {
-                (io_ns.div_ceil(exch_ns.max(1)) as usize).clamp(1, bound)
-            }
-        }
-    }
-
-    /// Whether the derive-overlap optimisation may run: it perturbs the
-    /// virtual timeline (never the counters), so the charge-replay
-    /// configurations — serial and classic double buffering — keep it off
-    /// to stay bit-identical to the reference engines.
-    fn allows_derive_overlap(self) -> bool {
-        match self {
-            CapPolicy::Fixed(c) => c >= 2,
-            CapPolicy::Auto { .. } => true,
-        }
-    }
-}
 
 /// Direction + user buffer for one collective call.
 pub enum DataBuf<'a> {
@@ -199,9 +127,13 @@ pub fn run(
     let charge_cycles = !hit && !derive_overlap;
     let n_agg = sched.agg_ranks.len();
     let outcome = if is_write {
-        run_write(rank, handle, my, mem, &buf, hints, sched, charge_cycles, policy, derive_win)
+        let mut driver =
+            FlexWrite { rank, handle, my, mem, buf: &buf, hints, sched, charge_cycles };
+        pipeline::drive_write(rank, handle, &mut driver, policy, Some(&sched.agg_ranks), derive_win)
     } else {
-        run_read(rank, handle, my, mem, &mut buf, hints, sched, charge_cycles, policy, derive_win)
+        let mut driver =
+            FlexRead { rank, handle, my, mem, buf: &mut buf, hints, sched, charge_cycles };
+        pipeline::drive_read(rank, handle, &mut driver, policy, Some(&sched.agg_ranks), derive_win)
     };
 
     if hints.schedule_cache {
@@ -216,10 +148,10 @@ pub fn run(
     // the straggling aggregator's persistent realms so later calls steer
     // work to its healthy peers; the cached schedule replays the old
     // ownership (realms are not part of the schedule key), so it must go.
-    if let Some((si, helper)) = outcome.straggler {
+    if let Some(v) = &outcome.straggler {
         if hints.persistent_file_realms && n_agg >= 2 {
             if let Some(new_realms) =
-                pfr_state.as_deref().and_then(|r| rebalance_realms(r, si, helper, hints))
+                pfr_state.as_deref().and_then(|r| rebalance_realms(r, v, hints))
             {
                 *pfr_state = Some(new_realms);
                 *sched_cache = None;
@@ -242,99 +174,28 @@ pub fn run(
     Ok(())
 }
 
-/// What one engine pass reports back to [`run`] beyond its data movement:
-/// the first retry-exhausted fault (fed to the error agreement) and the
-/// `(straggler, helper)` aggregator pair the EWMA detector converged on,
-/// if any.
-#[derive(Debug, Default)]
-struct CycleOutcome {
-    err: Option<PfsError>,
-    straggler: Option<(usize, usize)>,
-}
-
-/// Tracks per-aggregator smoothed I/O durations across buffer cycles and
-/// flags a straggler. Runs only under a fault plan: each cycle, every rank
-/// allgathers its local I/O duration (clients contribute 0), feeds the
-/// aggregators' samples into per-aggregator EWMAs, and — because everyone
-/// folds the same data — reaches the same verdict with no extra
-/// agreement round.
-struct StragglerDetector {
-    agg_ewma: Vec<Option<u64>>,
-}
-
-impl StragglerDetector {
-    fn new(n_agg: usize) -> StragglerDetector {
-        StragglerDetector { agg_ewma: vec![None; n_agg] }
-    }
-
-    /// Fold one cycle's allgathered durations; returns the straggling
-    /// aggregator and its least-loaded peer if one now stands out.
-    fn observe(
-        &mut self,
-        rank: &Rank,
-        agg_ranks: &[usize],
-        my_io_ns: u64,
-    ) -> Option<(usize, usize)> {
-        let durs = rank.allgatherv(&my_io_ns.to_le_bytes());
-        for (a, &ar) in agg_ranks.iter().enumerate() {
-            let d = u64::from_le_bytes(
-                durs[ar][..8].try_into().expect("duration payload must be 8 bytes"),
-            );
-            if d > 0 {
-                self.agg_ewma[a] = Some(ewma(self.agg_ewma[a], d));
-            }
-        }
-        self.straggler()
-    }
-
-    /// The aggregator whose smoothed I/O time is more than twice the mean
-    /// of its peers' (strict, so a clean 2:1 split does not churn; needs
-    /// ≥ 2 aggregators with samples; first index wins ties,
-    /// deterministically), paired with the least-loaded peer — the best
-    /// place for the rebalancer to move realm bytes to.
-    fn straggler(&self) -> Option<(usize, usize)> {
-        let known: Vec<(usize, u64)> =
-            self.agg_ewma.iter().enumerate().filter_map(|(i, e)| e.map(|v| (i, v))).collect();
-        if known.len() < 2 {
-            return None;
-        }
-        let (mut mi, mut mv) = known[0];
-        for &(i, v) in &known[1..] {
-            if v > mv {
-                (mi, mv) = (i, v);
-            }
-        }
-        let others: u64 = known.iter().filter(|&&(i, _)| i != mi).map(|&(_, v)| v).sum();
-        let avg = others / (known.len() as u64 - 1);
-        if avg == 0 || mv <= 2 * avg {
-            return None;
-        }
-        let (mut hi, mut hv) = (usize::MAX, u64::MAX);
-        for &(i, v) in &known {
-            if i != mi && v < hv {
-                (hi, hv) = (i, v);
-            }
-        }
-        Some((mi, hi))
-    }
-}
-
-/// Rebuild the persistent block-cyclic realms with the straggler's largest
-/// per-period run halved and the freed bytes handed to `helper` (the
-/// detector's least-loaded aggregator, so repeated rebalances spread a
-/// slow realm over many peers instead of piling it onto one neighbour).
+/// Rebuild the persistent block-cyclic realms with the straggler's
+/// per-period share shrunk *proportionally to its measured slowdown* and
+/// the freed bytes split across every healthy peer, weighted by peer
+/// speed (inverse smoothed I/O time). One detection therefore suffices:
+/// the straggler keeps `share · avg/mv` bytes — what its slow storage can
+/// finish in a healthy peer's cycle time — instead of halving toward that
+/// point over several detection cycles, and no single helper inherits the
+/// whole handoff.
+///
 /// The realm *period* is unchanged, so the realms still tile the whole
 /// file and stay pairwise disjoint; only the ownership split inside each
-/// period moves. Deterministic given the same inputs, so every rank
-/// rebuilds identical realms without communicating. `None` when nothing
-/// meaningful can move (non-tiled realms, or the straggler's share is
-/// already below one alignment unit).
+/// period moves. Deterministic given the same inputs (the verdict is
+/// folded from allgathered durations, identical everywhere), so every
+/// rank rebuilds identical realms without communicating. `None` when
+/// nothing meaningful can move (non-tiled realms, or the straggler's
+/// share is already at the floor of one alignment unit).
 fn rebalance_realms(
     old: &[FileRealm],
-    straggler: usize,
-    helper: usize,
+    verdict: &StragglerVerdict,
     hints: &Hints,
 ) -> Option<Vec<FileRealm>> {
+    let straggler = verdict.straggler;
     let mut shares: Vec<Vec<(u64, u64)>> = Vec::with_capacity(old.len());
     let mut period = 0u64;
     for r in old {
@@ -346,26 +207,78 @@ fn rebalance_realms(
         }
         shares.push(segs);
     }
-    // Halve the straggler's largest run (first wins ties, so every rank
-    // picks the same one), keeping the front half aligned when a boundary
-    // alignment is hinted.
-    let (mut idx, mut s_len) = (0usize, 0u64);
-    for (i, &(_, l)) in shares[straggler].iter().enumerate() {
-        if l > s_len {
-            (idx, s_len) = (i, l);
-        }
-    }
-    let s_off = shares[straggler].get(idx)?.0;
-    let mut keep = s_len / 2;
-    if let Some(al) = hints.fr_alignment {
-        keep = keep / al * al;
-    }
-    if keep == 0 {
+    let mv = verdict.loads.iter().find(|&&(i, _)| i == straggler)?.1;
+    let helpers: Vec<(usize, u64)> = verdict
+        .loads
+        .iter()
+        .copied()
+        .filter(|&(i, _)| i != straggler && i < shares.len())
+        .collect();
+    if helpers.is_empty() || mv == 0 {
         return None;
     }
-    shares[straggler][idx] = (s_off, keep);
-    shares[helper].push((s_off + keep, s_len - keep));
-    shares[helper].sort_unstable();
+    let avg = helpers.iter().map(|&(_, v)| v).sum::<u64>() / helpers.len() as u64;
+    if avg == 0 {
+        return None;
+    }
+    let total: u64 = shares[straggler].iter().map(|&(_, l)| l).sum();
+    let al = hints.fr_alignment.unwrap_or(1);
+    // Keep the fraction the slowdown ratio says the straggler can finish
+    // in a peer's cycle time, aligned down when a boundary alignment is
+    // hinted, floored at one alignment unit so the realm never empties.
+    let keep = ((total as u128 * avg as u128 / mv as u128) as u64 / al * al).max(al);
+    if keep >= total {
+        return None;
+    }
+    // Trim the straggler's runs from the back (every rank pops the same
+    // sorted list, so the donation is identical everywhere).
+    let donation = total - keep;
+    let mut freed = donation;
+    let mut donated: Vec<(u64, u64)> = Vec::new();
+    while freed > 0 {
+        let (o, l) = shares[straggler].pop().expect("freed < total implies runs remain");
+        if l <= freed {
+            donated.push((o, l));
+            freed -= l;
+        } else {
+            shares[straggler].push((o, l - freed));
+            donated.push((o + l - freed, freed));
+            freed = 0;
+        }
+    }
+    donated.sort_unstable();
+    // Per-helper donation targets, proportional to speed (inverse
+    // smoothed I/O time), aligned down; the rounding tail goes to the
+    // fastest helper (lowest load, lowest index on ties).
+    let inv: Vec<u128> = helpers.iter().map(|&(_, v)| (1u128 << 32) / v.max(1) as u128).collect();
+    let inv_sum: u128 = inv.iter().sum();
+    let mut targets: Vec<u64> =
+        inv.iter().map(|&w| (donation as u128 * w / inv_sum) as u64 / al * al).collect();
+    let assigned: u64 = targets.iter().sum();
+    let fastest = helpers
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &(i, v))| (v, i))
+        .map(|(k, _)| k)
+        .expect("helpers is nonempty");
+    targets[fastest] += donation - assigned;
+    // Carve the donated runs into consecutive per-helper chunks.
+    let (mut run, mut run_pos) = (0usize, 0u64);
+    for (k, &(h, _)) in helpers.iter().enumerate() {
+        let mut want = targets[k];
+        while want > 0 {
+            let (o, l) = donated[run];
+            let take = (l - run_pos).min(want);
+            shares[h].push((o + run_pos, take));
+            run_pos += take;
+            want -= take;
+            if run_pos == l {
+                run += 1;
+                run_pos = 0;
+            }
+        }
+        shares[h].sort_unstable();
+    }
     Some(
         shares
             .into_iter()
@@ -658,7 +571,7 @@ fn issue_write(
     // a realm boundary (the gap would belong to another aggregator).
     let t0 = rank.now();
     let mut t = t0;
-    let mut err: Option<PfsError> = None;
+    let mut err: Option<flexio_pfs::PfsError> = None;
     let mut pos = 0usize;
     for (wi, group) in group_by_window(&stage.segs, window) {
         let glen: u64 = group.iter().map(|(_, l)| l).sum();
@@ -689,98 +602,61 @@ fn issue_write(
     IoCompletion::span(t0, t).or_error(err)
 }
 
-/// Drive the write cycles as an N-deep software pipeline: up to `cap`
-/// cycles of file I/O stay in flight while the next cycle's exchange runs
-/// (into its own collective buffer), and an I/O is only waited on when its
-/// buffer must be reused — charging `max(io, exchange)` across the whole
-/// window instead of their sum. Cycle 0's exchange is the fill prologue,
-/// the trailing waits the drain epilogue. `cap == 1` is charge-for-charge
-/// the classic double-buffered engine; `cap == 0` issues and immediately
-/// waits every cycle, charge-for-charge the serial engine. Under
-/// [`CapPolicy::Auto`] the cap follows the measured I/O:exchange ratio.
-#[allow(clippy::too_many_arguments)]
-fn run_write(
-    rank: &Rank,
-    handle: &FileHandle,
-    my: &ClientAccess,
-    mem: &MemLayout,
-    buf: &DataBuf<'_>,
-    hints: &Hints,
-    sched: &ExchangeSchedule,
+/// [`CycleDriver`] for the flexible engine's write direction, over the
+/// (possibly cached) exchange schedule.
+struct FlexWrite<'a> {
+    rank: &'a Rank,
+    handle: &'a FileHandle,
+    my: &'a ClientAccess,
+    mem: &'a MemLayout,
+    buf: &'a DataBuf<'a>,
+    hints: &'a Hints,
+    sched: &'a ExchangeSchedule,
     charge_cycles: bool,
-    policy: CapPolicy,
-    mut derive_win: Option<OverlapWindow>,
-) -> CycleOutcome {
-    let mut cap = policy.initial_cap();
-    let mut inflight: VecDeque<(OverlapWindow, NbGuard)> = VecDeque::new();
-    let mut outcome = CycleOutcome::default();
-    // Smoothed I/O and exchange durations feeding the auto depth policy:
-    // one fast or slow cycle no longer swings the cap to its own ratio.
-    let (mut ewma_io, mut ewma_exch) = (None, None);
-    // Straggler watch, only when faults can exist (the allgather would
-    // otherwise break fault-free charge identity).
-    let watch = handle.pfs().fault_plan().is_some() && sched.agg_ranks.len() >= 2;
-    let mut detector = StragglerDetector::new(sched.agg_ranks.len());
-    for (i, cyc) in sched.cycles.iter().enumerate() {
-        if charge_cycles {
-            rank.charge_pairs(cyc.pairs);
+}
+
+impl CycleDriver for FlexWrite<'_> {
+    type Stage = WriteStage;
+
+    fn n_cycles(&self) -> usize {
+        self.sched.cycles.len()
+    }
+
+    fn begin_cycle(&mut self, i: usize) {
+        if self.charge_cycles {
+            self.rank.charge_pairs(self.sched.cycles[i].pairs);
         }
-        let exch_t0 = rank.now();
-        let stage = exchange_write(
-            rank, my, mem, buf, hints, &sched.agg_ranks, &cyc.my_pieces, &cyc.agg_pieces,
+    }
+
+    fn exchange(&mut self, i: usize, _incoming: Option<WriteStage>) -> Option<WriteStage> {
+        let cyc = &self.sched.cycles[i];
+        exchange_write(
+            self.rank,
+            self.my,
+            self.mem,
+            self.buf,
+            self.hints,
+            &self.sched.agg_ranks,
+            &cyc.my_pieces,
+            &cyc.agg_pieces,
+        )
+    }
+
+    fn issue(
+        &mut self,
+        i: usize,
+        outgoing: Option<WriteStage>,
+    ) -> Option<(IoCompletion, Option<WriteStage>)> {
+        let stage = outgoing.expect("write issue needs an assembled stage");
+        let io = issue_write(
+            self.rank,
+            self.handle,
+            self.hints,
+            &self.sched.cycles[i].my_window,
+            &stage,
         );
-        let exch_ns = rank.now().saturating_sub(exch_t0);
-        if i == 0 {
-            // Cycle 1+'s derivation has been overlapping this exchange;
-            // cycle 1 needs it next, so settle up now.
-            if let Some(w) = derive_win.take() {
-                rank.overlap_complete_derive(w);
-            }
-        }
-        // All cap+1 collective buffers are full once the next exchange has
-        // run: drain the oldest in-flight I/O before reusing its buffer
-        // (dropping its guard retires it from the handle's inflight tally).
-        while inflight.len() >= cap.max(1) {
-            let (w, _guard) = inflight.pop_front().expect("nonempty");
-            rank.overlap_complete(w);
-        }
-        let mut cycle_io_ns = 0u64;
-        if let Some(stage) = stage {
-            let io = issue_write(rank, handle, hints, &cyc.my_window, &stage);
-            outcome.err = outcome.err.or(io.error());
-            cycle_io_ns = io.duration();
-            if cap == 0 {
-                // Wait immediately. Begin/complete (rather than a raw
-                // advance + note) keeps the phase buckets summing to
-                // elapsed even when a sieve copy inside the issue already
-                // charged Compute time; nothing is hidden, so
-                // overlap_saved_ns stays 0.
-                rank.overlap_complete(rank.overlap_begin(io.done_at(), Phase::Io));
-                rank.note_pipeline_depth(1);
-            } else {
-                inflight.push_back((rank.overlap_begin(io.done_at(), Phase::Io), handle.nb_issued()));
-                rank.note_pipeline_depth(inflight.len() as u64 + 1);
-                ewma_io = Some(ewma(ewma_io, io.duration()));
-                ewma_exch = Some(ewma(ewma_exch, exch_ns));
-                cap = policy.adapt(ewma_io.unwrap_or(0), ewma_exch.unwrap_or(0));
-            }
-        }
-        if watch {
-            if let Some(si) = detector.observe(rank, &sched.agg_ranks, cycle_io_ns) {
-                rank.note_degraded_cycle();
-                outcome.straggler = Some(si);
-            }
-        }
-        // If Auto just lowered the cap, fall back to it right away.
-        while inflight.len() > cap {
-            let (w, _guard) = inflight.pop_front().expect("nonempty");
-            rank.overlap_complete(w);
-        }
+        Some((io, None))
     }
-    for (w, _guard) in inflight {
-        rank.overlap_complete(w);
-    }
-    outcome
 }
 
 /// One read cycle's collective buffer, read from the file and awaiting
@@ -815,7 +691,7 @@ fn issue_read(
     let mut packed = vec![0u8; total as usize];
     let t0 = rank.now();
     let mut t = t0;
-    let mut err: Option<PfsError> = None;
+    let mut err: Option<flexio_pfs::PfsError> = None;
     let mut pos = 0usize;
     for (wi, group) in group_by_window(&segs, window) {
         let glen: u64 = group.iter().map(|(_, l)| l).sum();
@@ -921,110 +797,152 @@ fn distribute_read(
     }
 }
 
-/// Drive the read cycles as an N-deep pipeline running in the opposite
-/// direction from writes: up to `cap` future cycles' file reads are
-/// prefetched (each into its own collective buffer) before the current
-/// cycle's data is distributed, so read latency hides behind the
-/// exchange/scatter work of the cycles in between. Cycle 0's read is
-/// waited on immediately (fill prologue — there is nothing to overlap it
-/// with). `cap == 1` is charge-for-charge the classic double-buffered
-/// engine; `cap == 0` reads, waits, and distributes serially, matching
-/// the serial engine charge for charge. Under [`CapPolicy::Auto`] the cap
-/// follows the measured I/O:distribute ratio.
-#[allow(clippy::too_many_arguments)]
-fn run_read(
-    rank: &Rank,
-    handle: &FileHandle,
-    my: &ClientAccess,
-    mem: &MemLayout,
-    buf: &mut DataBuf<'_>,
-    hints: &Hints,
-    sched: &ExchangeSchedule,
+/// [`CycleDriver`] for the flexible engine's read direction: issue
+/// prefetches a cycle's window into a fresh collective buffer,
+/// exchange distributes it to the clients.
+struct FlexRead<'a, 'b> {
+    rank: &'a Rank,
+    handle: &'a FileHandle,
+    my: &'a ClientAccess,
+    mem: &'a MemLayout,
+    buf: &'a mut DataBuf<'b>,
+    hints: &'a Hints,
+    sched: &'a ExchangeSchedule,
     charge_cycles: bool,
-    policy: CapPolicy,
-    mut derive_win: Option<OverlapWindow>,
-) -> CycleOutcome {
-    let n = sched.cycles.len();
-    let mut cap = policy.initial_cap();
-    // Prefetched reads: (cycle index, overlap window, filled stage, nb
-    // guard), in cycle order. `next` is the first cycle not yet issued.
-    let mut q: VecDeque<(usize, OverlapWindow, ReadStage, NbGuard)> = VecDeque::new();
-    let mut next = 0usize;
-    // The previous cycle's distribute duration — the exchange-side work a
-    // prefetched read hides behind.
-    let mut exch_ns = 0u64;
-    let mut outcome = CycleOutcome::default();
-    let (mut ewma_io, mut ewma_exch) = (None, None);
-    let watch = handle.pfs().fault_plan().is_some() && sched.agg_ranks.len() >= 2;
-    let mut detector = StragglerDetector::new(sched.agg_ranks.len());
-    for i in 0..n {
-        if charge_cycles {
-            rank.charge_pairs(sched.cycles[i].pairs);
-        }
-        let mut cycle_io_ns = 0u64;
-        let stage = if q.front().is_some_and(|(c, _, _, _)| *c == i) {
-            // This cycle's read was prefetched; its window has been
-            // overlapping the distributions since. Drain it now (the
-            // guard drop retires it from the handle's inflight tally).
-            let (_, w, stage, _guard) = q.pop_front().expect("nonempty");
-            rank.overlap_complete(w);
-            Some(stage)
-        } else {
-            // Fill (or serial path, or an idle cycle between prefetches):
-            // issue this cycle's read and block on it.
-            match issue_read(rank, handle, hints, &sched.cycles[i].my_window, &sched.cycles[i].agg_pieces)
-            {
-                Some((io, stage)) => {
-                    // Immediate begin/complete, not advance + note: see
-                    // the serial write path.
-                    outcome.err = outcome.err.or(io.error());
-                    cycle_io_ns += io.duration();
-                    rank.overlap_complete(rank.overlap_begin(io.done_at(), Phase::Io));
-                    rank.note_pipeline_depth(1);
-                    Some(stage)
-                }
-                None => None,
-            }
-        };
-        if next <= i {
-            next = i + 1;
-        }
-        if i == 0 {
-            // Cycle 1+'s derivation overlapped the fill read; settle up
-            // before prefetching needs its piece lists.
-            if let Some(w) = derive_win.take() {
-                rank.overlap_complete_derive(w);
-            }
-        }
-        // Prefetch up to `cap` cycles ahead of the one being distributed.
-        while cap > 0 && next < n && q.len() < cap && next <= i + cap {
-            if let Some((io, stage)) = issue_read(
-                rank,
-                handle,
-                hints,
-                &sched.cycles[next].my_window,
-                &sched.cycles[next].agg_pieces,
-            ) {
-                outcome.err = outcome.err.or(io.error());
-                cycle_io_ns += io.duration();
-                q.push_back((next, rank.overlap_begin(io.done_at(), Phase::Io), stage, handle.nb_issued()));
-                rank.note_pipeline_depth(q.len() as u64 + 1);
-                ewma_io = Some(ewma(ewma_io, io.duration()));
-                ewma_exch = Some(ewma(ewma_exch, exch_ns));
-                cap = policy.adapt(ewma_io.unwrap_or(0), ewma_exch.unwrap_or(0));
-            }
-            next += 1;
-        }
-        if watch {
-            if let Some(si) = detector.observe(rank, &sched.agg_ranks, cycle_io_ns) {
-                rank.note_degraded_cycle();
-                outcome.straggler = Some(si);
-            }
-        }
-        let dist_t0 = rank.now();
-        distribute_read(rank, my, mem, buf, hints, &sched.agg_ranks, &sched.cycles[i].my_pieces, stage);
-        exch_ns = rank.now().saturating_sub(dist_t0);
+}
+
+impl CycleDriver for FlexRead<'_, '_> {
+    type Stage = ReadStage;
+
+    fn n_cycles(&self) -> usize {
+        self.sched.cycles.len()
     }
-    debug_assert!(q.is_empty(), "a read stage was issued but never distributed");
-    outcome
+
+    fn begin_cycle(&mut self, i: usize) {
+        if self.charge_cycles {
+            self.rank.charge_pairs(self.sched.cycles[i].pairs);
+        }
+    }
+
+    fn exchange(&mut self, i: usize, incoming: Option<ReadStage>) -> Option<ReadStage> {
+        distribute_read(
+            self.rank,
+            self.my,
+            self.mem,
+            self.buf,
+            self.hints,
+            &self.sched.agg_ranks,
+            &self.sched.cycles[i].my_pieces,
+            incoming,
+        );
+        None
+    }
+
+    fn issue(
+        &mut self,
+        i: usize,
+        _outgoing: Option<ReadStage>,
+    ) -> Option<(IoCompletion, Option<ReadStage>)> {
+        issue_read(
+            self.rank,
+            self.handle,
+            self.hints,
+            &self.sched.cycles[i].my_window,
+            &self.sched.cycles[i].agg_pieces,
+        )
+        .map(|(io, stage)| (io, Some(stage)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::PipelineDepth;
+
+    /// Build tiled realms: one run of `len` bytes per aggregator inside a
+    /// shared period, like the persistent block-cyclic assigner produces.
+    fn tiled_realms(runs: &[(u64, u64)], period: u64) -> Vec<FileRealm> {
+        runs.iter()
+            .map(|&(o, l)| {
+                let pattern = FlatType {
+                    segs: vec![Seg::new(o as i64, l)],
+                    lb: 0,
+                    extent: period,
+                    size: l,
+                    monotonic: true,
+                    contiguous: true,
+                    prefix: vec![0, l],
+                };
+                FileRealm::tiled(Arc::new(pattern), 0)
+            })
+            .collect()
+    }
+
+    fn share_bytes(realms: &[FileRealm]) -> Vec<u64> {
+        realms
+            .iter()
+            .map(|r| r.tile().expect("tiled").0.iter().map(|&(_, l)| l).sum())
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_splits_proportionally_across_all_helpers() {
+        // Aggregator 0 straggles at 8x; helpers 1 and 2 are equally fast.
+        // The straggler must shrink to ~1/8 of its share in ONE step and
+        // BOTH helpers must gain, splitting the donation evenly.
+        let old = tiled_realms(&[(0, 8192), (8192, 8192), (16384, 8192)], 24576);
+        let verdict = StragglerVerdict {
+            straggler: 0,
+            loads: vec![(0, 8000), (1, 1000), (2, 1000)],
+        };
+        let hints = Hints { fr_alignment: Some(1024), ..Hints::default() };
+        let new = rebalance_realms(&old, &verdict, &hints).expect("must rebalance");
+        let shares = share_bytes(&new);
+        assert_eq!(shares.iter().sum::<u64>(), 24576, "realms must still tile the period");
+        assert_eq!(shares[0], 1024, "straggler keeps share*avg/mv aligned down");
+        let donated = 8192 - 1024;
+        assert!(shares[1] > 8192 && shares[2] > 8192, "both helpers must gain: {shares:?}");
+        assert_eq!(shares[1] + shares[2], 2 * 8192 + donated);
+        // Equal speeds -> the split is as even as alignment allows.
+        assert!(shares[1].abs_diff(shares[2]) <= 1024, "skewed split: {shares:?}");
+    }
+
+    #[test]
+    fn rebalance_weighs_helpers_by_speed() {
+        // Helper 1 is 3x slower than helper 2: helper 2 must absorb ~3x
+        // the donated bytes.
+        let old = tiled_realms(&[(0, 8192), (8192, 8192), (16384, 8192)], 24576);
+        let verdict = StragglerVerdict {
+            straggler: 0,
+            loads: vec![(0, 24000), (1, 3000), (2, 1000)],
+        };
+        let hints = Hints { fr_alignment: None, ..Hints::default() };
+        let new = rebalance_realms(&old, &verdict, &hints).expect("must rebalance");
+        let shares = share_bytes(&new);
+        assert_eq!(shares.iter().sum::<u64>(), 24576);
+        let (gain1, gain2) = (shares[1] - 8192, shares[2] - 8192);
+        assert!(gain2 > 2 * gain1, "fast helper must take the bulk: {shares:?}");
+        assert!(gain1 > 0, "slow helper must still take a proportional slice");
+    }
+
+    #[test]
+    fn rebalance_declines_when_nothing_can_move() {
+        let old = tiled_realms(&[(0, 1024), (1024, 8192)], 9216);
+        // Straggler already at one alignment unit: keep == total.
+        let verdict =
+            StragglerVerdict { straggler: 0, loads: vec![(0, 9000), (1, 1000)] };
+        let hints = Hints { fr_alignment: Some(1024), ..Hints::default() };
+        assert!(rebalance_realms(&old, &verdict, &hints).is_none());
+        // Zero helper average (no samples worth comparing) declines too.
+        let verdict = StragglerVerdict { straggler: 1, loads: vec![(0, 0), (1, 9000)] };
+        assert!(rebalance_realms(&old, &verdict, &hints).is_none());
+    }
+
+    #[test]
+    fn depth_hint_is_engine_agnostic() {
+        // CapPolicy is shared machinery now; double-check the resolution
+        // the engines rely on (depth d -> cap d-1).
+        let h = Hints { pipeline_depth: PipelineDepth::Fixed(3), ..Hints::default() };
+        assert_eq!(CapPolicy::resolve(&h, 4, 1), CapPolicy::Fixed(2));
+    }
 }

@@ -8,6 +8,7 @@
 
 pub mod common;
 pub mod flexible;
+pub(crate) mod pipeline;
 pub mod romio;
 pub mod schedule;
 

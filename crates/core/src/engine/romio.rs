@@ -11,12 +11,23 @@
 //!   buffer, so there is one less copy than the flexible engine, but the
 //!   buffer-to-file method cannot be changed, and gap data lives in the
 //!   collective buffer.
+//!
+//! The buffer cycles run on the shared pipeline core
+//! ([`crate::engine::pipeline`]), so `flexio_double_buffer` and
+//! `flexio_pipeline_depth` mean the same thing here as under the flexible
+//! engine — depth 1 charges exactly like the historical serial loop
+//! (fixture-enforced), deeper pipelines overlap each cycle's *final*
+//! buffer-to-file request with the next cycle's exchange. A write cycle's
+//! sieving *read* stays blocking at any depth: it is the read half of a
+//! read-modify-write, and the payloads can only be placed after it lands.
 
 use crate::engine::common::{agree_error, retry_io, Piece};
 use crate::engine::flexible::DataBuf;
+use crate::engine::pipeline::{self, CapPolicy, CycleDriver};
 use crate::error::{IoError, Result};
 use crate::hints::{aggregator_ranks, Hints};
 use crate::meta::ClientAccess;
+use flexio_io::IoCompletion;
 use flexio_pfs::{FileHandle, PfsError};
 use flexio_sim::{Phase, Rank};
 use flexio_types::MemLayout;
@@ -83,6 +94,18 @@ fn take_below_window(
         }
     }
     out
+}
+
+/// One precomputed buffer cycle: this rank's pieces per aggregator
+/// (client role) and each client's requests inside my window (aggregator
+/// role). The historical loop derived these lazily from per-cycle
+/// cursors; deriving them up front charges nothing extra — the cursor
+/// walks were never charged (their pair processing was paid when the
+/// lists were built and decoded) — and lets the pipelined drive loop
+/// prefetch future cycles' reads.
+struct RomioCycle {
+    my_cycle: Vec<Vec<Piece>>,
+    agg_cycle: Vec<Vec<(u64, u64)>>,
 }
 
 /// Run one collective read/write with the original ROMIO algorithm.
@@ -214,16 +237,14 @@ pub fn run(
         .max()
         .unwrap_or(0);
 
-    // ---- cycle state -------------------------------------------------------
+    // ---- precompute every cycle's piece lists ------------------------------
     // Client side: per-aggregator index + split carry into my lists.
     let mut cli_idx = vec![0usize; n_agg];
     let mut cli_tail: Vec<Option<Piece>> = vec![None; n_agg];
     // Aggregator side: per-client index + split carry into received lists.
     let mut agg_idx = vec![0usize; nprocs];
     let mut agg_tail: Vec<Option<(u64, u64)>> = vec![None; nprocs];
-    // First retry-exhausted fault, fed to the error agreement afterwards.
-    let mut first_err: Option<PfsError> = None;
-
+    let mut cycles: Vec<RomioCycle> = Vec::with_capacity(ntimes as usize);
     for t in 0..ntimes {
         // Window per aggregator, in file space (the old code cycles over
         // the realm's file extent, not its data stream).
@@ -260,7 +281,6 @@ pub fn run(
         if let Some(ai) = my_agg_idx {
             if let Some((_, w1)) = windows[ai] {
                 for (c, list) in others.iter().enumerate() {
-                    // Reuse the generic splitter via a Piece shim.
                     let mut out = Vec::new();
                     if let Some((o, l)) = agg_tail[c].take() {
                         if o < w1 {
@@ -289,19 +309,43 @@ pub fn run(
                 }
             }
         }
-
-        let cycle_err = if is_write {
-            romio_cycle_write(
-                rank, handle, my, mem, &buf, hints, &agg_ranks, &my_cycle, &agg_cycle, my_agg_idx,
-            )
-        } else {
-            romio_cycle_read(
-                rank, handle, my, mem, &mut buf, hints, &agg_ranks, &my_cycle, &agg_cycle,
-                my_agg_idx,
-            )
-        };
-        first_err = first_err.or(cycle_err);
+        cycles.push(RomioCycle { my_cycle, agg_cycle });
     }
+
+    // ---- buffer cycles on the shared pipeline ------------------------------
+    // No straggler watch (ROMIO has no realms to rebalance) and no
+    // derive-overlap (the flattening cost was all charged up front), so
+    // those slots stay empty; the depth semantics are exactly the
+    // flexible engine's.
+    let policy = CapPolicy::resolve(hints, handle.pfs().config().n_osts, agg_ranks.len());
+    let outcome = if is_write {
+        let mut driver = RomioWrite {
+            rank,
+            handle,
+            my,
+            mem,
+            buf: &buf,
+            hints,
+            agg_ranks: &agg_ranks,
+            cycles: &cycles,
+            my_agg_idx,
+        };
+        pipeline::drive_write(rank, handle, &mut driver, policy, None, None)
+    } else {
+        let mut driver = RomioRead {
+            rank,
+            handle,
+            my,
+            mem,
+            buf: &mut buf,
+            hints,
+            agg_ranks: &agg_ranks,
+            cycles: &cycles,
+            my_agg_idx,
+        };
+        pipeline::drive_read(rank, handle, &mut driver, policy, None, None)
+    };
+    let first_err = outcome.err;
 
     // ---- collective error agreement ---------------------------------------
     // Same gate as the flexible engine: a fault plan is the only source of
@@ -318,111 +362,174 @@ pub fn run(
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn romio_cycle_write(
-    rank: &Rank,
-    handle: &FileHandle,
-    my: &ClientAccess,
-    mem: &MemLayout,
-    buf: &DataBuf<'_>,
-    hints: &Hints,
-    agg_ranks: &[usize],
-    my_cycle: &[Vec<Piece>],
-    agg_cycle: &[Vec<(u64, u64)>],
-    my_agg_idx: Option<usize>,
-) -> Option<PfsError> {
-    let user = match buf {
-        DataBuf::Write(b) => *b,
-        DataBuf::Read(_) => unreachable!(),
-    };
-    // Client -> aggregator payloads (non-blocking exchange, as the old
-    // code does; packing is charged).
-    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
-    for (a, pieces) in my_cycle.iter().enumerate() {
-        if pieces.is_empty() {
-            continue;
-        }
-        let total: u64 = pieces.iter().map(|p| p.len).sum();
-        let mut payload = vec![0u8; total as usize];
-        let mut pos = 0usize;
-        for p in pieces {
-            mem.gather(user, p.data_pos - my.data_start, &mut payload[pos..pos + p.len as usize]);
-            pos += p.len as usize;
-        }
-        rank.charge_memcpy(total);
-        sends.push((agg_ranks[a], payload));
-    }
-    let recv_from: Vec<usize> = agg_cycle
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.is_empty())
-        .map(|(c, _)| c)
-        .collect();
-    let received = rank.exchange(&sends, &recv_from);
-    if my_agg_idx.is_none() || recv_from.is_empty() {
-        return None;
-    }
-
-    // Integrated sieve: single buffer spanning [blo, bhi).
-    let mut blo = u64::MAX;
-    let mut bhi = 0u64;
-    let mut covered = 0u64;
-    for l in agg_cycle {
-        for &(o, len) in l {
-            blo = blo.min(o);
-            bhi = bhi.max(o + len);
-            covered += len;
-        }
-    }
-    let span = bhi - blo;
-    let mut cbuf = vec![0u8; span as usize];
-    let holes = covered < span;
-    let mut err: Option<PfsError> = None;
-    if holes {
-        let t0 = rank.now();
-        let (nt, e) = retry_io(rank, hints, t0, |at| handle.read(at, blo, &mut cbuf));
-        err = err.or(e);
-        rank.advance_to(nt);
-        rank.note_phase(Phase::Io, nt - t0);
-    }
-    // Place every client's payload directly into the collective buffer
-    // (this IS the sieve buffer: one copy total).
-    let mut total_placed = 0u64;
-    for (src, payload) in &received {
-        let mut pos = 0usize;
-        for &(o, len) in &agg_cycle[*src] {
-            cbuf[(o - blo) as usize..(o - blo + len) as usize]
-                .copy_from_slice(&payload[pos..pos + len as usize]);
-            pos += len as usize;
-            total_placed += len;
-        }
-    }
-    rank.charge_memcpy(total_placed);
-    let t0 = rank.now();
-    let (t_done, e) = retry_io(rank, hints, t0, |at| handle.write(at, blo, &cbuf));
-    err = err.or(e);
-    rank.advance_to(t_done);
-    rank.note_phase(Phase::Io, t_done - t0);
-    err
+/// One write cycle's exchanged payloads, awaiting the integrated
+/// sieve-and-commit. The received buffers ARE the stage: placement into
+/// the collective buffer needs the sieving read first, so it happens in
+/// the issue half.
+struct RomioWriteStage {
+    /// Spanning range start of this cycle's requests.
+    blo: u64,
+    /// Spanning range length — the collective/sieve buffer size.
+    span: u64,
+    /// Whether the requests leave gaps (forcing the sieving read).
+    holes: bool,
+    received: Vec<(usize, Vec<u8>)>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn romio_cycle_read(
-    rank: &Rank,
-    handle: &FileHandle,
-    my: &ClientAccess,
-    mem: &MemLayout,
-    buf: &mut DataBuf<'_>,
-    hints: &Hints,
-    agg_ranks: &[usize],
-    my_cycle: &[Vec<Piece>],
-    agg_cycle: &[Vec<(u64, u64)>],
+/// [`CycleDriver`] for the ROMIO write direction, over the precomputed
+/// cycle lists.
+struct RomioWrite<'a> {
+    rank: &'a Rank,
+    handle: &'a FileHandle,
+    my: &'a ClientAccess,
+    mem: &'a MemLayout,
+    buf: &'a DataBuf<'a>,
+    hints: &'a Hints,
+    agg_ranks: &'a [usize],
+    cycles: &'a [RomioCycle],
     my_agg_idx: Option<usize>,
-) -> Option<PfsError> {
-    // Aggregator: one sieving read of the spanning range, then slice.
-    let mut err: Option<PfsError> = None;
-    let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
-    if my_agg_idx.is_some() && agg_cycle.iter().any(|l| !l.is_empty()) {
+}
+
+impl CycleDriver for RomioWrite<'_> {
+    type Stage = RomioWriteStage;
+
+    fn n_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    fn exchange(&mut self, i: usize, _incoming: Option<RomioWriteStage>) -> Option<RomioWriteStage> {
+        let RomioCycle { my_cycle, agg_cycle } = &self.cycles[i];
+        let user = match self.buf {
+            DataBuf::Write(b) => *b,
+            DataBuf::Read(_) => unreachable!(),
+        };
+        // Client -> aggregator payloads (non-blocking exchange, as the old
+        // code does; packing is charged).
+        let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (a, pieces) in my_cycle.iter().enumerate() {
+            if pieces.is_empty() {
+                continue;
+            }
+            let total: u64 = pieces.iter().map(|p| p.len).sum();
+            let mut payload = vec![0u8; total as usize];
+            let mut pos = 0usize;
+            for p in pieces {
+                self.mem.gather(
+                    user,
+                    p.data_pos - self.my.data_start,
+                    &mut payload[pos..pos + p.len as usize],
+                );
+                pos += p.len as usize;
+            }
+            self.rank.charge_memcpy(total);
+            sends.push((self.agg_ranks[a], payload));
+        }
+        let recv_from: Vec<usize> = agg_cycle
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(c, _)| c)
+            .collect();
+        let received = self.rank.exchange(&sends, &recv_from);
+        if self.my_agg_idx.is_none() || recv_from.is_empty() {
+            return None;
+        }
+        // Spanning range of this cycle's requests (pure arithmetic over
+        // already-charged pairs).
+        let mut blo = u64::MAX;
+        let mut bhi = 0u64;
+        let mut covered = 0u64;
+        for l in agg_cycle {
+            for &(o, len) in l {
+                blo = blo.min(o);
+                bhi = bhi.max(o + len);
+                covered += len;
+            }
+        }
+        let span = bhi - blo;
+        Some(RomioWriteStage { blo, span, holes: covered < span, received })
+    }
+
+    fn issue(
+        &mut self,
+        i: usize,
+        outgoing: Option<RomioWriteStage>,
+    ) -> Option<(IoCompletion, Option<RomioWriteStage>)> {
+        let stage = outgoing.expect("write issue needs an exchanged stage");
+        let agg_cycle = &self.cycles[i].agg_cycle;
+        // Integrated sieve: single buffer spanning [blo, blo+span).
+        let mut cbuf = vec![0u8; stage.span as usize];
+        let mut err: Option<PfsError> = None;
+        if stage.holes {
+            // The read half of the read-modify-write blocks at ANY
+            // pipeline depth: payloads cannot be placed over gap data
+            // that has not arrived. Only the commit write below overlaps.
+            let t0 = self.rank.now();
+            let (nt, e) =
+                retry_io(self.rank, self.hints, t0, |at| self.handle.read(at, stage.blo, &mut cbuf));
+            err = err.or(e);
+            self.rank.advance_to(nt);
+            self.rank.note_phase(Phase::Io, nt - t0);
+        }
+        // Place every client's payload directly into the collective buffer
+        // (this IS the sieve buffer: one copy total).
+        let mut total_placed = 0u64;
+        for (src, payload) in &stage.received {
+            let mut pos = 0usize;
+            for &(o, len) in &agg_cycle[*src] {
+                cbuf[(o - stage.blo) as usize..(o - stage.blo + len) as usize]
+                    .copy_from_slice(&payload[pos..pos + len as usize]);
+                pos += len as usize;
+                total_placed += len;
+            }
+        }
+        self.rank.charge_memcpy(total_placed);
+        let t0 = self.rank.now();
+        let (t_done, e) =
+            retry_io(self.rank, self.hints, t0, |at| self.handle.write(at, stage.blo, &cbuf));
+        err = err.or(e);
+        Some((IoCompletion::span(t0, t_done).or_error(err), None))
+    }
+}
+
+/// One read cycle's collective buffer, read from the file and awaiting
+/// slicing + distribution.
+struct RomioReadStage {
+    blo: u64,
+    cbuf: Vec<u8>,
+}
+
+/// [`CycleDriver`] for the ROMIO read direction: issue prefetches a
+/// cycle's spanning sieve read, exchange slices and distributes it.
+struct RomioRead<'a, 'b> {
+    rank: &'a Rank,
+    handle: &'a FileHandle,
+    my: &'a ClientAccess,
+    mem: &'a MemLayout,
+    buf: &'a mut DataBuf<'b>,
+    hints: &'a Hints,
+    agg_ranks: &'a [usize],
+    cycles: &'a [RomioCycle],
+    my_agg_idx: Option<usize>,
+}
+
+impl CycleDriver for RomioRead<'_, '_> {
+    type Stage = RomioReadStage;
+
+    fn n_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    fn issue(
+        &mut self,
+        i: usize,
+        _outgoing: Option<RomioReadStage>,
+    ) -> Option<(IoCompletion, Option<RomioReadStage>)> {
+        let agg_cycle = &self.cycles[i].agg_cycle;
+        if self.my_agg_idx.is_none() || agg_cycle.iter().all(|l| l.is_empty()) {
+            return None;
+        }
+        // One sieving read of the spanning range.
         let mut blo = u64::MAX;
         let mut bhi = 0u64;
         for l in agg_cycle {
@@ -432,50 +539,62 @@ fn romio_cycle_read(
             }
         }
         let mut cbuf = vec![0u8; (bhi - blo) as usize];
-        let t0 = rank.now();
-        let (t, e) = retry_io(rank, hints, t0, |at| handle.read(at, blo, &mut cbuf));
-        err = err.or(e);
-        rank.advance_to(t);
-        rank.note_phase(Phase::Io, t - t0);
-        let mut total = 0u64;
-        for (c, l) in agg_cycle.iter().enumerate() {
-            if l.is_empty() {
+        let t0 = self.rank.now();
+        let (t, e) = retry_io(self.rank, self.hints, t0, |at| self.handle.read(at, blo, &mut cbuf));
+        Some((IoCompletion::span(t0, t).or_error(e), Some(RomioReadStage { blo, cbuf })))
+    }
+
+    fn exchange(&mut self, i: usize, incoming: Option<RomioReadStage>) -> Option<RomioReadStage> {
+        let RomioCycle { my_cycle, agg_cycle } = &self.cycles[i];
+        // Aggregator: slice the collective buffer per client.
+        let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
+        if let Some(stage) = incoming {
+            let mut total = 0u64;
+            for (c, l) in agg_cycle.iter().enumerate() {
+                if l.is_empty() {
+                    continue;
+                }
+                let mut payload = Vec::with_capacity(l.iter().map(|&(_, n)| n as usize).sum());
+                for &(o, len) in l {
+                    payload.extend_from_slice(
+                        &stage.cbuf[(o - stage.blo) as usize..(o - stage.blo + len) as usize],
+                    );
+                    total += len;
+                }
+                sends.push((c, payload));
+            }
+            self.rank.charge_memcpy(total);
+        }
+        let recv_from: Vec<usize> = my_cycle
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(a, _)| self.agg_ranks[a])
+            .collect();
+        let received = self.rank.exchange(&sends, &recv_from);
+        let user = match self.buf {
+            DataBuf::Read(b) => &mut **b,
+            DataBuf::Write(_) => unreachable!(),
+        };
+        let mut by_src: std::collections::HashMap<usize, Vec<u8>> = received.into_iter().collect();
+        for (a, pieces) in my_cycle.iter().enumerate() {
+            if pieces.is_empty() {
                 continue;
             }
-            let mut payload = Vec::with_capacity(l.iter().map(|&(_, n)| n as usize).sum());
-            for &(o, len) in l {
-                payload.extend_from_slice(&cbuf[(o - blo) as usize..(o - blo + len) as usize]);
-                total += len;
+            let payload = by_src.remove(&self.agg_ranks[a]).expect("missing payload");
+            let mut pos = 0usize;
+            let mut total = 0u64;
+            for p in pieces {
+                self.mem.scatter(
+                    user,
+                    p.data_pos - self.my.data_start,
+                    &payload[pos..pos + p.len as usize],
+                );
+                pos += p.len as usize;
+                total += p.len;
             }
-            sends.push((c, payload));
+            self.rank.charge_memcpy(total);
         }
-        rank.charge_memcpy(total);
+        None
     }
-    let recv_from: Vec<usize> = my_cycle
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| !p.is_empty())
-        .map(|(a, _)| agg_ranks[a])
-        .collect();
-    let received = rank.exchange(&sends, &recv_from);
-    let user = match buf {
-        DataBuf::Read(b) => &mut **b,
-        DataBuf::Write(_) => unreachable!(),
-    };
-    let mut by_src: std::collections::HashMap<usize, Vec<u8>> = received.into_iter().collect();
-    for (a, pieces) in my_cycle.iter().enumerate() {
-        if pieces.is_empty() {
-            continue;
-        }
-        let payload = by_src.remove(&agg_ranks[a]).expect("missing payload");
-        let mut pos = 0usize;
-        let mut total = 0u64;
-        for p in pieces {
-            mem.scatter(user, p.data_pos - my.data_start, &payload[pos..pos + p.len as usize]);
-            pos += p.len as usize;
-            total += p.len;
-        }
-        rank.charge_memcpy(total);
-    }
-    err
 }

@@ -31,11 +31,14 @@ pub enum ExchangeMode {
     Alltoallw,
 }
 
-/// How many buffer cycles the flexible engine keeps in flight
+/// How many buffer cycles an engine keeps in flight
 /// (`flexio_pipeline_depth`). Depth *d* means up to `d − 1` cycles of file
 /// I/O outstanding while the next exchange runs: 1 is the strictly serial
 /// engine, 2 the classic double buffering, deeper pipelines pay off when
-/// one cycle's I/O takes longer than one cycle's exchange.
+/// one cycle's I/O takes longer than one cycle's exchange. Both engines
+/// run on the same pipeline core, so the hint means the same thing under
+/// the flexible engine and the ROMIO baseline (ROMIO's read-modify-write
+/// pass still blocks inside each cycle; only the final write overlaps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PipelineDepth {
     /// Choose per buffer cycle from the measured I/O:exchange time ratio,
@@ -77,9 +80,9 @@ pub struct Hints {
     /// under persistent file realms; off reproduces the pre-cache engine
     /// exactly (useful for ablations).
     pub schedule_cache: bool,
-    /// Software-pipeline the flexible engine's buffer cycles: two
-    /// collective buffers per aggregator, with the exchange for cycle
-    /// *i+1* overlapping the file I/O of cycle *i* (the original ROMIO
+    /// Software-pipeline the buffer cycles (both engines): two collective
+    /// buffers per aggregator, with the exchange for cycle *i+1*
+    /// overlapping the file I/O of cycle *i* (the original ROMIO
     /// double-buffering the paper's §4 inherits). On by default; off
     /// reproduces the strictly serial per-cycle engine charge for charge.
     pub double_buffer: bool,

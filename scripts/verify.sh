@@ -38,6 +38,14 @@ if [ "$THOROUGH" = 1 ]; then
   FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
     PROPTEST_CASES="${PROPTEST_CASES:-512}" \
     cargo test -q --release --offline --test fault_injection
+
+  # Differential engine-parity sweep: pipelined flexible AND ROMIO runs
+  # against their depth-1 serial oracles on the shared pipeline core,
+  # same pinned seed discipline as the chaos sweep.
+  echo "== engine parity sweep (tests/engine_pipeline_parity.rs) =="
+  FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+    PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+    cargo test -q --release --offline --test engine_pipeline_parity
 fi
 
 echo "== tier-1 verification passed =="

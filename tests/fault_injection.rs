@@ -342,6 +342,79 @@ fn straggler_degrades_and_rebalances() {
     }
 }
 
+/// The proportional rebalancer must converge in ONE detection cycle: the
+/// straggler's share shrinks straight to what its measured slowdown
+/// supports (split across BOTH healthy aggregators), so later collective
+/// calls see a balanced load and never trigger a second handoff. The old
+/// halving-to-one-helper policy needed several detections to reach the
+/// same point, each one dropping the schedule cache again.
+#[test]
+fn rebalance_converges_in_one_detection() {
+    // Geometry: 6 ranks x 64 B blocks x 64 reps = 24 KiB span, 3
+    // aggregators -> 8 KiB block-cyclic realms, stripe 8 KiB over 3 OSTs,
+    // so each realm maps to exactly one OST and OST 0 (x8 slower) slows
+    // exactly aggregator 0.
+    let c = Chaos {
+        nprocs: 6,
+        block: 64,
+        reps: 64,
+        steps: 4,
+        aggs: 3,
+        cb: 2048,
+        engine: Engine::Flexible,
+        exchange: ExchangeMode::Nonblocking,
+        pfr: true,
+        depth: PipelineDepth::Fixed(1),
+        io_retries: 4,
+        backoff_us: 0,
+        locking: false,
+        plan: FaultPlan::straggler(0, 8.0),
+    };
+    let pfs_cfg = PfsConfig {
+        n_osts: 3,
+        stripe_size: 8192,
+        page_size: 64,
+        locking: false,
+        lock_expansion: false,
+        client_cache: false,
+        cost: PfsCostModel::default(),
+    };
+    let mut hints = chaos_hints(&c);
+    hints.fr_alignment = Some(2048);
+    let run_once = |pfs: Arc<Pfs>| {
+        let w = c.clone();
+        let hints = hints.clone();
+        let inner = Arc::clone(&pfs);
+        let out = run(w.nprocs, CostModel::default(), move |rank| {
+            let mut f = MpiFile::open(rank, &inner, "conv", hints.clone()).unwrap();
+            let ftype =
+                Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
+            f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
+            let len = (w.reps * w.block) as usize;
+            for s in 0..w.steps {
+                let data = step_data(rank.rank(), s, len);
+                f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
+            }
+            f.close().unwrap();
+            (rank.now(), rank.stats())
+        });
+        (read_file(&pfs, "conv"), out)
+    };
+    let (img_s, out_s) = run_once(Pfs::with_faults(pfs_cfg, c.plan.clone()));
+    let (img_o, _) = run_once(Pfs::new(pfs_cfg));
+    assert_eq!(img_s, img_o, "rebalancing must not change the bytes");
+    let degraded: u64 = out_s.iter().map(|(_, s)| s.degraded_cycles).sum();
+    assert!(degraded > 0, "straggler OST never flagged");
+    // Exactly one collective rebalance event: every rank notes it once,
+    // and no later call detects a residual imbalance.
+    let rebalanced: u64 = out_s.iter().map(|(_, s)| s.realms_rebalanced).sum();
+    assert_eq!(
+        rebalanced,
+        c.nprocs as u64,
+        "expected one collective rebalance event (one note per rank), got {rebalanced}"
+    );
+}
+
 /// Lock-manager stalls move clocks, not bytes: with locking on, a
 /// stalled run finishes no earlier than the stall-free run and produces
 /// the identical image.
