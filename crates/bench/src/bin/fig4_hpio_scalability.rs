@@ -7,7 +7,7 @@
 //! Default scale: 16 procs, 1024 regions, aggregators ∈ {2, 4, 6, 8} —
 //! same shape, seconds of wall time.
 
-use flexio_bench::{best_of_ns, hpio_collective_write_ns, mbps, print_table, Scale};
+use flexio_bench::{hpio_collective_write_sample, mbps, print_table, Scale};
 use flexio_core::{Engine, Hints};
 use flexio_hpio::{HpioSpec, TypeStyle};
 use flexio_pfs::{Pfs, PfsConfig};
@@ -28,10 +28,13 @@ fn main() {
 
     println!("# Fig. 4 — HPIO: {nprocs} procs non-contig in memory and non-contig in file");
     println!("# {}", scale.describe());
-    println!("# columns: aggs,region_size_bytes,method,mbps");
+    println!("# columns: aggs,region_size_bytes,method,mbps,bytes_copied");
     for &aggs in &agg_counts {
         let mut series: Vec<(String, Vec<f64>)> =
             methods.iter().map(|(n, _, _)| (n.to_string(), Vec::new())).collect();
+        // Staging-copy ledger (sum over ranks, one representative region
+        // size per method): deterministic, so one repetition suffices.
+        let mut ledgers: Vec<(String, u64)> = Vec::new();
         for &rs in &region_sizes {
             let spec = HpioSpec {
                 region_size: rs,
@@ -43,13 +46,19 @@ fn main() {
             };
             for (mi, (name, engine, style)) in methods.iter().enumerate() {
                 let hints = Hints { engine: *engine, cb_nodes: Some(aggs), ..Hints::default() };
-                let ns = best_of_ns(scale.best_of, || {
+                let (mut ns, mut copied) = (u64::MAX, 0u64);
+                for _ in 0..scale.best_of.max(1) {
                     let pfs = Pfs::new(PfsConfig::default());
-                    hpio_collective_write_ns(&pfs, spec, *style, &hints, "fig4")
-                });
+                    let (t, c) = hpio_collective_write_sample(&pfs, spec, *style, &hints, "fig4");
+                    ns = ns.min(t);
+                    copied = c;
+                }
                 let bw = mbps(spec.aggregate_bytes(), ns);
-                println!("{aggs},{rs},{name},{bw:.2}");
+                println!("{aggs},{rs},{name},{bw:.2},{copied}");
                 series[mi].1.push(bw);
+                if rs == *region_sizes.last().unwrap() {
+                    ledgers.push((name.to_string(), copied));
+                }
             }
         }
         let xs: Vec<String> = region_sizes.iter().map(|r| r.to_string()).collect();
@@ -59,5 +68,10 @@ fn main() {
             &xs,
             &series,
         );
+        print!("staging-copy ledger at {} B regions:", region_sizes.last().unwrap());
+        for (name, copied) in &ledgers {
+            print!("  {name}={copied}");
+        }
+        println!(" (bytes_copied, summed over ranks; flexio_zero_copy default on)");
     }
 }

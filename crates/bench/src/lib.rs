@@ -98,6 +98,20 @@ pub fn hpio_collective_write_ns(
     hints: &Hints,
     path: &str,
 ) -> u64 {
+    hpio_collective_write_sample(pfs, spec, style, hints, path).0
+}
+
+/// [`hpio_collective_write_ns`] plus the staging-copy ledger: returns
+/// `(slowest rank's elapsed ns, sum of Stats::bytes_copied over ranks)`.
+/// The ledger counts the engine data-path copies the zero-copy run
+/// sheds; it is deterministic for a given workload and hint set.
+pub fn hpio_collective_write_sample(
+    pfs: &Arc<Pfs>,
+    spec: HpioSpec,
+    style: TypeStyle,
+    hints: &Hints,
+    path: &str,
+) -> (u64, u64) {
     let pfs = Arc::clone(pfs);
     let path = path.to_string();
     let hints = hints.clone();
@@ -111,9 +125,9 @@ pub fn hpio_collective_write_ns(
         f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
         let elapsed = rank.now() - t0;
         f.close().unwrap();
-        rank.allreduce_max(elapsed)
+        (rank.allreduce_max(elapsed), rank.stats().bytes_copied)
     });
-    out[0]
+    (out[0].0, out.iter().map(|(_, c)| c).sum())
 }
 
 /// Best-of-N wrapper: fresh file system per repetition (fresh OST clocks).

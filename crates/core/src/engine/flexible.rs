@@ -31,7 +31,10 @@ use crate::error::{IoError, Result};
 use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
 use crate::meta::ClientAccess;
 use crate::realm::{AssignCtx, EvenAar, FileRealm, PersistentBlockCyclic, RealmAssigner};
-use flexio_io::{read_packed_nb, resolve, write_packed_nb, IoCompletion, Resolved};
+use flexio_io::{
+    read_packed_nb, read_scattered_nb, resolve, write_gathered_nb, write_packed_nb, IoCompletion,
+    Resolved,
+};
 use flexio_pfs::FileHandle;
 use flexio_sim::{OverlapWindow, Rank};
 use flexio_types::{FlatType, MemLayout, Seg};
@@ -146,16 +149,28 @@ pub fn run(
     // Every rank ran the same straggler detector over the same allgathered
     // durations, so the rebalance decision is already collective. Shrink
     // the straggling aggregator's persistent realms so later calls steer
-    // work to its healthy peers; the cached schedule replays the old
-    // ownership (realms are not part of the schedule key), so it must go.
+    // work to its healthy peers. The cached schedule replays the old
+    // ownership (realms are not part of the schedule key), so it is
+    // patched in place against the new realms: the wires are already
+    // parsed, only the window cuts and piece streams move, so the patch
+    // charges the cycle walks but not the parse — and the next identical
+    // call still probes as a hit instead of paying a full miss.
     if let Some(v) = &outcome.straggler {
         if hints.persistent_file_realms && n_agg >= 2 {
             if let Some(new_realms) =
                 pfr_state.as_deref().and_then(|r| rebalance_realms(r, v, hints))
             {
                 *pfr_state = Some(new_realms);
-                *sched_cache = None;
                 rank.note_realms_rebalanced();
+                if hints.schedule_cache && sched_cache.is_some() {
+                    let patched = derive_schedule(rank, &wires, key, my, hints, pfr_state);
+                    let cycle_pairs: u64 = patched.cycles.iter().map(|c| c.pairs).sum();
+                    rank.charge_pairs(cycle_pairs);
+                    *sched_cache = Some(patched);
+                    rank.note_schedule_cache_patch();
+                } else {
+                    *sched_cache = None;
+                }
             }
         }
     }
@@ -437,7 +452,15 @@ fn derive_schedule(
     ExchangeSchedule { key, agg_ranks, cycles, parse_pairs }
 }
 
-/// Pack this rank's outgoing payload for one aggregator.
+/// Build this rank's outgoing payload for one aggregator.
+///
+/// With `flexio_zero_copy` the payload is an iovec run list borrowed
+/// straight off the flattened memory view ([`MemLayout::runs`]) handed to
+/// the NIC — no pack copy is modeled, so nothing is charged and nothing
+/// enters the [`flexio_sim::Stats::bytes_copied`] ledger (the `Vec` built
+/// below is the simulator's wire representation, exactly as the alltoallw
+/// mode always modeled it). The packed path gathers into a staging buffer
+/// and, under the non-blocking exchange, charges that copy (§5.4).
 fn pack_payload(
     rank: &Rank,
     my: &ClientAccess,
@@ -447,6 +470,15 @@ fn pack_payload(
     hints: &Hints,
 ) -> Vec<u8> {
     let total: u64 = pieces.iter().map(|p| p.len).sum();
+    if hints.zero_copy {
+        let mut payload = Vec::with_capacity(total as usize);
+        for p in pieces {
+            for run in mem.runs(user, p.data_pos - my.data_start, p.len) {
+                payload.extend_from_slice(run.bytes);
+            }
+        }
+        return payload;
+    }
     let mut payload = vec![0u8; total as usize];
     let mut pos = 0usize;
     for p in pieces {
@@ -457,8 +489,19 @@ fn pack_payload(
         // Alltoallw sends straight from the user buffer; the non-blocking
         // path packs first (§5.4).
         rank.charge_memcpy(total);
+        rank.note_bytes_copied(total);
     }
     payload
+}
+
+/// Sieve method covering a whole segment group in one chunk: one RMW
+/// read and one write-back for the group's span. The zero-copy issue
+/// paths use this for sieve-resolved groups — the staging is span-sized
+/// either way (ROMIO's integrated RMW holds the same span), and a single
+/// round trip replaces the packed path's serialized sieve-buffer chunks.
+fn span_wide_sieve(group: &[(u64, u64)]) -> flexio_io::IoMethod {
+    let span = group.last().unwrap().0 + group.last().unwrap().1 - group[0].0;
+    flexio_io::IoMethod::DataSieve { buffer: span as usize }
 }
 
 /// Estimate the period of an aggregated segment group: the average
@@ -482,8 +525,51 @@ fn group_period(group: &[(u64, u64)]) -> u64 {
 struct WriteStage {
     /// Sorted, merged file segments of this aggregator's window slice.
     segs: Vec<(u64, u64)>,
-    /// The segments' bytes, concatenated in file order.
-    packed: Vec<u8>,
+    /// The segments' bytes, in one of two representations.
+    data: StageData,
+}
+
+/// How a stage holds the window's bytes between exchange and issue.
+enum StageData {
+    /// The classic path: one copy into a collective buffer, concatenated
+    /// in file order.
+    Packed(Vec<u8>),
+    /// The zero-copy path: received payloads held as delivered, plus the
+    /// run plan mapping the file-order segment stream onto
+    /// `(payload index, offset, len)` slices. The issue half hands these
+    /// slices to the scatter-gather PFS entry points without assembling
+    /// an intermediate buffer.
+    Runs { bufs: Vec<Vec<u8>>, runs: Vec<(usize, usize, usize)> },
+}
+
+impl StageData {
+    /// Borrow the sub-slices of `runs` covering stream bytes
+    /// `[start, start + len)`. Stream positions are byte offsets into the
+    /// file-order concatenation of the stage's segments, so a window
+    /// group's slice list is exactly its contiguous stream range.
+    fn run_slices<'a>(
+        bufs: &'a [Vec<u8>],
+        runs: &[(usize, usize, usize)],
+        start: usize,
+        len: usize,
+    ) -> Vec<&'a [u8]> {
+        let mut out = Vec::new();
+        let (mut pos, end) = (0usize, start + len);
+        for &(bi, off, rlen) in runs {
+            if pos >= end {
+                break;
+            }
+            let rstart = pos;
+            pos += rlen;
+            if pos <= start {
+                continue;
+            }
+            let lo = start.saturating_sub(rstart);
+            let hi = rlen - pos.saturating_sub(end).min(rlen);
+            out.push(&bufs[bi][off + lo..off + hi]);
+        }
+        out
+    }
 }
 
 /// Exchange half of a write cycle: clients send their pieces, aggregators
@@ -531,14 +617,29 @@ fn exchange_write(
         return None; // nothing owned this cycle (or not an aggregator)
     }
 
-    // Assemble the collective buffer in file order.
+    // Assemble the collective buffer in file order. Within one client,
+    // entry order equals the client's own pack order, so a per-client
+    // sequential cursor walks each payload exactly once.
     let nonempty: Vec<(usize, Vec<Piece>)> =
         agg_pieces.iter().filter(|(_, p)| !p.is_empty()).cloned().collect();
     let (entries, segs) = merge_pieces(&nonempty);
     let total: u64 = entries.iter().map(|e| e.3).sum();
-    let mut packed = vec![0u8; total as usize];
     let mut recv_cursor: std::collections::HashMap<usize, (usize, usize)> =
         received.iter().enumerate().map(|(i, (c, _))| (*c, (i, 0usize))).collect();
+    if hints.zero_copy {
+        // Record where each stream byte lives instead of moving it: the
+        // plan is the same cursor walk as the packed assembly below,
+        // minus the copy (and minus its charge).
+        let mut runs = Vec::with_capacity(entries.len());
+        for &(_off, client, _piece, len) in &entries {
+            let (ri, consumed) = recv_cursor.get_mut(&client).expect("payload for client missing");
+            runs.push((*ri, *consumed, len as usize));
+            *consumed += len as usize;
+        }
+        let bufs: Vec<Vec<u8>> = received.into_iter().map(|(_, b)| b).collect();
+        return Some(WriteStage { segs, data: StageData::Runs { bufs, runs } });
+    }
+    let mut packed = vec![0u8; total as usize];
     let mut pos = 0usize;
     for &(_off, client, _piece, len) in &entries {
         let (ri, consumed) = recv_cursor.get_mut(&client).expect("payload for client missing");
@@ -549,8 +650,9 @@ fn exchange_write(
     }
     if matches!(hints.exchange, ExchangeMode::Nonblocking) {
         rank.charge_memcpy(total); // assembly into the collective buffer
+        rank.note_bytes_copied(total);
     }
-    Some(WriteStage { segs, packed })
+    Some(WriteStage { segs, data: StageData::Packed(packed) })
 }
 
 /// Issue half of a write cycle: commit the assembled collective buffer to
@@ -586,15 +688,50 @@ fn issue_write(
                 err = err.or(Some(e));
             }
         }
-        // Double buffering (§5.1/§6.2): sieving beneath the collective
-        // buffer copies once more, collective buffer -> sieve buffer.
-        if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
-            rank.charge_memcpy(glen);
-        }
-        let data = &stage.packed[pos..pos + glen as usize];
-        let (nt, e) = retry_io(rank, hints, t, |at| {
-            write_packed_nb(handle, at, &group, data, &hints.io_method, period).into_result()
-        });
+        let sieved = matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_));
+        let (nt, e) = match &stage.data {
+            StageData::Packed(packed) => {
+                // Double buffering (§5.1/§6.2): sieving beneath the
+                // collective buffer copies once more, collective buffer
+                // -> sieve buffer.
+                if sieved {
+                    rank.charge_memcpy(glen);
+                    rank.note_bytes_copied(glen);
+                }
+                let data = &packed[pos..pos + glen as usize];
+                retry_io(rank, hints, t, |at| {
+                    write_packed_nb(handle, at, &group, data, &hints.io_method, period)
+                        .into_result()
+                })
+            }
+            StageData::Runs { bufs, runs } if sieved => {
+                // Sieving needs a contiguous patch stream for its
+                // read-modify-write, so this group still packs — the one
+                // copy zero-copy keeps (it replaces the packed path's
+                // assembly + double-buffer pair for the same bytes).
+                // The chunk is widened to the whole group span: one RMW
+                // read + one write-back per realm chunk, the same
+                // span-sized staging ROMIO's integrated RMW pass uses,
+                // instead of serialized sieve-buffer-sized round trips.
+                let data: Vec<u8> =
+                    StageData::run_slices(bufs, runs, pos, glen as usize).concat();
+                rank.charge_memcpy(glen);
+                rank.note_bytes_copied(glen);
+                let method = span_wide_sieve(&group);
+                retry_io(rank, hints, t, |at| {
+                    write_packed_nb(handle, at, &group, &data, &method, period).into_result()
+                })
+            }
+            StageData::Runs { bufs, runs } => {
+                // Pack-free: hand the received payloads' sub-slices to
+                // the scatter-gather write as-is.
+                let slices = StageData::run_slices(bufs, runs, pos, glen as usize);
+                retry_io(rank, hints, t, |at| {
+                    write_gathered_nb(handle, at, &group, &slices, &hints.io_method, period)
+                        .into_result()
+                })
+            }
+        };
         t = nt;
         err = err.or(e);
         pos += glen as usize;
@@ -665,8 +802,20 @@ struct ReadStage {
     /// Merged plan entries `(file_off, client, piece_idx, len)` in file
     /// order — the slicing map from the packed buffer to per-client sends.
     entries: Vec<PlanEntry>,
-    /// The window's bytes, concatenated in file order.
-    packed: Vec<u8>,
+    /// The window's bytes, in one of two representations.
+    data: ReadStageData,
+}
+
+/// How a read stage holds the window's bytes between issue and
+/// distribution.
+enum ReadStageData {
+    /// The classic path: the window concatenated in file order; the
+    /// distribute half slices (copies) it into per-client payloads.
+    Packed(Vec<u8>),
+    /// The zero-copy path: per-client payload buffers, in ascending
+    /// client order, filled directly by the scattered read — ready to
+    /// send without a slicing pass.
+    PerClient(Vec<(usize, Vec<u8>)>),
 }
 
 /// Issue half of a read cycle: an aggregator with data this cycle reads
@@ -687,11 +836,77 @@ fn issue_read(
     let nonempty: Vec<(usize, Vec<Piece>)> =
         agg_pieces.iter().filter(|(_, p)| !p.is_empty()).cloned().collect();
     let (entries, segs) = merge_pieces(&nonempty);
-    let total: u64 = entries.iter().map(|e| e.3).sum();
-    let mut packed = vec![0u8; total as usize];
     let t0 = rank.now();
     let mut t = t0;
     let mut err: Option<flexio_pfs::PfsError> = None;
+    if hints.zero_copy {
+        // Pack-free: scattered reads land straight in per-client payload
+        // buffers, so the distribute half can send them as-is.
+        let mut totals: std::collections::BTreeMap<usize, usize> = Default::default();
+        for &(_off, client, _piece, len) in &entries {
+            *totals.entry(client).or_default() += len as usize;
+        }
+        let mut bufs: Vec<(usize, Vec<u8>)> =
+            totals.into_iter().map(|(c, n)| (c, vec![0u8; n])).collect();
+        // Dest runs in entry order: each entry gets the next `len` bytes
+        // of its client's buffer (within a client, entry order equals the
+        // client's own piece order).
+        let mut rem: std::collections::HashMap<usize, &mut [u8]> =
+            bufs.iter_mut().map(|(c, b)| (*c, b.as_mut_slice())).collect();
+        let mut dests: Vec<&mut [u8]> = Vec::with_capacity(entries.len());
+        for &(_off, client, _piece, len) in &entries {
+            let r = rem.remove(&client).expect("client buffer missing");
+            let (head, tail) = r.split_at_mut(len as usize);
+            dests.push(head);
+            rem.insert(client, tail);
+        }
+        drop(rem);
+        // Merged segment boundaries always fall on entry boundaries, so
+        // every window group covers a whole number of entries/dest runs.
+        let mut ei = 0usize;
+        for (wi, group) in group_by_window(&segs, window) {
+            let glen: u64 = group.iter().map(|(_, l)| l).sum();
+            let period = group_period(&group);
+            match handle.lock_range(t, window[wi].0, window[wi].1) {
+                Ok(nt) => t = nt,
+                Err(e) => {
+                    t = e.at;
+                    err = err.or(Some(e));
+                }
+            }
+            let mut got = 0u64;
+            let mut ej = ei;
+            while got < glen {
+                got += entries[ej].3;
+                ej += 1;
+            }
+            let sieved = matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_));
+            let method = if sieved {
+                // Sieving drains its chunk buffer into the per-client
+                // payloads — the one copy zero-copy keeps on reads. One
+                // span-wide chunk per group, as on the write side.
+                rank.charge_memcpy(glen);
+                rank.note_bytes_copied(glen);
+                span_wide_sieve(&group)
+            } else {
+                hints.io_method
+            };
+            let (nt, e) = retry_io(rank, hints, t, |at| {
+                read_scattered_nb(handle, at, &group, &mut dests[ei..ej], &method, period)
+                    .into_result()
+            });
+            t = nt;
+            err = err.or(e);
+            ei = ej;
+        }
+        drop(dests);
+        return Some((
+            IoCompletion::span(t0, t).or_error(err),
+            ReadStage { entries, data: ReadStageData::PerClient(bufs) },
+        ));
+    }
+    let total: u64 = entries.iter().map(|e| e.3).sum();
+    let mut packed = vec![0u8; total as usize];
     let mut pos = 0usize;
     for (wi, group) in group_by_window(&segs, window) {
         let glen: u64 = group.iter().map(|(_, l)| l).sum();
@@ -705,6 +920,7 @@ fn issue_read(
         }
         if matches!(resolve(&hints.io_method, &group, period), Resolved::DataSieve(_)) {
             rank.charge_memcpy(glen); // sieve buffer -> collective buffer
+            rank.note_bytes_copied(glen);
         }
         let dst = &mut packed[pos..pos + glen as usize];
         let (nt, e) = retry_io(rank, hints, t, |at| {
@@ -714,7 +930,10 @@ fn issue_read(
         err = err.or(e);
         pos += glen as usize;
     }
-    Some((IoCompletion::span(t0, t).or_error(err), ReadStage { entries, packed }))
+    Some((
+        IoCompletion::span(t0, t).or_error(err),
+        ReadStage { entries, data: ReadStageData::Packed(packed) },
+    ))
 }
 
 /// Distribute half of a read cycle: the aggregator slices its collective
@@ -734,25 +953,33 @@ fn distribute_read(
 ) {
     // Slice the packed buffer back out per client, in entry order
     // (within a client, entry order == the client's own piece order).
+    // The zero-copy stage already holds per-client payloads — filled in
+    // place by the scattered read — so no slicing pass (and no charge).
     let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
     if let Some(stage) = stage {
-        let total: u64 = stage.entries.iter().map(|e| e.3).sum();
-        let mut per_client: std::collections::HashMap<usize, Vec<u8>> = Default::default();
-        let mut pos = 0usize;
-        for &(_off, client, _piece, len) in &stage.entries {
-            per_client
-                .entry(client)
-                .or_default()
-                .extend_from_slice(&stage.packed[pos..pos + len as usize]);
-            pos += len as usize;
-        }
-        if matches!(hints.exchange, ExchangeMode::Nonblocking) {
-            rank.charge_memcpy(total); // collective buffer -> send payloads
-        }
-        let mut targets: Vec<usize> = per_client.keys().copied().collect();
-        targets.sort_unstable();
-        for c in targets {
-            sends.push((c, per_client.remove(&c).unwrap()));
+        match stage.data {
+            ReadStageData::PerClient(bufs) => sends = bufs,
+            ReadStageData::Packed(packed) => {
+                let total: u64 = stage.entries.iter().map(|e| e.3).sum();
+                let mut per_client: std::collections::HashMap<usize, Vec<u8>> = Default::default();
+                let mut pos = 0usize;
+                for &(_off, client, _piece, len) in &stage.entries {
+                    per_client
+                        .entry(client)
+                        .or_default()
+                        .extend_from_slice(&packed[pos..pos + len as usize]);
+                    pos += len as usize;
+                }
+                if matches!(hints.exchange, ExchangeMode::Nonblocking) {
+                    rank.charge_memcpy(total); // collective buffer -> send payloads
+                    rank.note_bytes_copied(total);
+                }
+                let mut targets: Vec<usize> = per_client.keys().copied().collect();
+                targets.sort_unstable();
+                for c in targets {
+                    sends.push((c, per_client.remove(&c).unwrap()));
+                }
+            }
         }
     }
     // Client: receive from every aggregator whose window holds my data.
@@ -791,8 +1018,12 @@ fn distribute_read(
             pos += p.len as usize;
             total += p.len;
         }
-        if matches!(hints.exchange, ExchangeMode::Nonblocking) {
-            rank.charge_memcpy(total); // unpack into user memory
+        if matches!(hints.exchange, ExchangeMode::Nonblocking) && !hints.zero_copy {
+            // Zero-copy receives through an iovec run list borrowed off
+            // the flattened view, landing bytes in user memory directly;
+            // the packed path unpacks a staging buffer.
+            rank.charge_memcpy(total);
+            rank.note_bytes_copied(total);
         }
     }
 }

@@ -329,6 +329,7 @@ pub fn run(
             agg_ranks: &agg_ranks,
             cycles: &cycles,
             my_agg_idx,
+            prefetch: None,
         };
         pipeline::drive_write(rank, handle, &mut driver, policy, None, None)
     } else {
@@ -362,6 +363,39 @@ pub fn run(
     Ok(())
 }
 
+/// Spanning range of one cycle's requests at this aggregator:
+/// `(blo, span, holes)`, or `None` when the cycle holds no data here.
+fn cycle_span(agg_cycle: &[Vec<(u64, u64)>]) -> Option<(u64, u64, bool)> {
+    let mut blo = u64::MAX;
+    let mut bhi = 0u64;
+    let mut covered = 0u64;
+    for l in agg_cycle {
+        for &(o, len) in l {
+            blo = blo.min(o);
+            bhi = bhi.max(o + len);
+            covered += len;
+        }
+    }
+    if blo == u64::MAX {
+        return None;
+    }
+    Some((blo, bhi - blo, covered < bhi - blo))
+}
+
+/// Gap data for an upcoming cycle's read-modify-write, fetched
+/// nonblockingly behind the current cycle's commit window
+/// (`flexio_sieve_prefetch`). Holding it here instead of re-reading at
+/// the cycle itself turns the one blocking read in the ROMIO write path
+/// into overlappable I/O.
+struct SievePrefetch {
+    /// Cycle index the buffer belongs to.
+    cycle: usize,
+    /// File offset the spanning read started at.
+    blo: u64,
+    /// The spanning range's bytes as of the prefetch.
+    buf: Vec<u8>,
+}
+
 /// One write cycle's exchanged payloads, awaiting the integrated
 /// sieve-and-commit. The received buffers ARE the stage: placement into
 /// the collective buffer needs the sieving read first, so it happens in
@@ -388,6 +422,8 @@ struct RomioWrite<'a> {
     agg_ranks: &'a [usize],
     cycles: &'a [RomioCycle],
     my_agg_idx: Option<usize>,
+    /// Next cycle's gap data, when `flexio_sieve_prefetch` fetched it.
+    prefetch: Option<SievePrefetch>,
 }
 
 impl CycleDriver for RomioWrite<'_> {
@@ -404,7 +440,10 @@ impl CycleDriver for RomioWrite<'_> {
             DataBuf::Read(_) => unreachable!(),
         };
         // Client -> aggregator payloads (non-blocking exchange, as the old
-        // code does; packing is charged).
+        // code does). The packed path gathers into a staging buffer and
+        // charges the copy; zero-copy sends an iovec run list borrowed
+        // off the flattened view, so the `Vec` below is only the wire
+        // representation — nothing charged, nothing in the ledger.
         let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
         for (a, pieces) in my_cycle.iter().enumerate() {
             if pieces.is_empty() {
@@ -421,7 +460,10 @@ impl CycleDriver for RomioWrite<'_> {
                 );
                 pos += p.len as usize;
             }
-            self.rank.charge_memcpy(total);
+            if !self.hints.zero_copy {
+                self.rank.charge_memcpy(total);
+                self.rank.note_bytes_copied(total);
+            }
             sends.push((self.agg_ranks[a], payload));
         }
         let recv_from: Vec<usize> = agg_cycle
@@ -436,18 +478,8 @@ impl CycleDriver for RomioWrite<'_> {
         }
         // Spanning range of this cycle's requests (pure arithmetic over
         // already-charged pairs).
-        let mut blo = u64::MAX;
-        let mut bhi = 0u64;
-        let mut covered = 0u64;
-        for l in agg_cycle {
-            for &(o, len) in l {
-                blo = blo.min(o);
-                bhi = bhi.max(o + len);
-                covered += len;
-            }
-        }
-        let span = bhi - blo;
-        Some(RomioWriteStage { blo, span, holes: covered < span, received })
+        let (blo, span, holes) = cycle_span(agg_cycle).expect("non-empty recv list spans bytes");
+        Some(RomioWriteStage { blo, span, holes, received })
     }
 
     fn issue(
@@ -457,37 +489,105 @@ impl CycleDriver for RomioWrite<'_> {
     ) -> Option<(IoCompletion, Option<RomioWriteStage>)> {
         let stage = outgoing.expect("write issue needs an exchanged stage");
         let agg_cycle = &self.cycles[i].agg_cycle;
-        // Integrated sieve: single buffer spanning [blo, blo+span).
-        let mut cbuf = vec![0u8; stage.span as usize];
         let mut err: Option<PfsError> = None;
-        if stage.holes {
-            // The read half of the read-modify-write blocks at ANY
-            // pipeline depth: payloads cannot be placed over gap data
-            // that has not arrived. Only the commit write below overlaps.
-            let t0 = self.rank.now();
-            let (nt, e) =
-                retry_io(self.rank, self.hints, t0, |at| self.handle.read(at, stage.blo, &mut cbuf));
+        let pre = match self.prefetch.take() {
+            Some(p) if p.cycle == i && p.blo == stage.blo && p.buf.len() == stage.span as usize => {
+                Some(p)
+            }
+            _ => None,
+        };
+        let t0;
+        let mut t_done;
+        if self.hints.zero_copy && !stage.holes {
+            // The requests tile the spanning range exactly, so the
+            // collective buffer adds nothing: sort the received payloads'
+            // request runs by file offset and commit them as one gathered
+            // write — the placement copy and its charge disappear. With
+            // holes the buffer IS the sieve buffer and the packed path
+            // below stays (the read-modify-write needs contiguous bytes).
+            let mut plan: Vec<(u64, usize, usize, usize)> = Vec::new();
+            for (ri, (src, _)) in stage.received.iter().enumerate() {
+                let mut pos = 0usize;
+                for &(o, len) in &agg_cycle[*src] {
+                    plan.push((o, ri, pos, len as usize));
+                    pos += len as usize;
+                }
+            }
+            plan.sort_unstable_by_key(|r| r.0);
+            let slices: Vec<&[u8]> = plan
+                .iter()
+                .map(|&(_, ri, pos, len)| &stage.received[ri].1[pos..pos + len])
+                .collect();
+            t0 = self.rank.now();
+            let (nt, e) = retry_io(self.rank, self.hints, t0, |at| {
+                self.handle.pwritev_nb(at, stage.blo, &slices).wait(at)
+            });
+            t_done = nt;
             err = err.or(e);
-            self.rank.advance_to(nt);
-            self.rank.note_phase(Phase::Io, nt - t0);
+        } else {
+            // Integrated sieve: single buffer spanning [blo, blo+span).
+            let mut cbuf = match pre {
+                // The gap data was prefetched behind the previous cycle's
+                // commit window; no blocking read this cycle.
+                Some(p) => p.buf,
+                None => {
+                    let mut fresh = vec![0u8; stage.span as usize];
+                    if stage.holes {
+                        // The read half of the read-modify-write blocks at
+                        // ANY pipeline depth: payloads cannot be placed
+                        // over gap data that has not arrived. Only the
+                        // commit write below overlaps.
+                        let rt0 = self.rank.now();
+                        let (nt, e) = retry_io(self.rank, self.hints, rt0, |at| {
+                            self.handle.read(at, stage.blo, &mut fresh)
+                        });
+                        err = err.or(e);
+                        self.rank.advance_to(nt);
+                        self.rank.note_phase(Phase::Io, nt - rt0);
+                    }
+                    fresh
+                }
+            };
+            // Place every client's payload directly into the collective
+            // buffer (this IS the sieve buffer: one copy total).
+            let mut total_placed = 0u64;
+            for (src, payload) in &stage.received {
+                let mut pos = 0usize;
+                for &(o, len) in &agg_cycle[*src] {
+                    cbuf[(o - stage.blo) as usize..(o - stage.blo + len) as usize]
+                        .copy_from_slice(&payload[pos..pos + len as usize]);
+                    pos += len as usize;
+                    total_placed += len;
+                }
+            }
+            self.rank.charge_memcpy(total_placed);
+            self.rank.note_bytes_copied(total_placed);
+            t0 = self.rank.now();
+            let (nt, e) =
+                retry_io(self.rank, self.hints, t0, |at| self.handle.write(at, stage.blo, &cbuf));
+            t_done = nt;
+            err = err.or(e);
         }
-        // Place every client's payload directly into the collective buffer
-        // (this IS the sieve buffer: one copy total).
-        let mut total_placed = 0u64;
-        for (src, payload) in &stage.received {
-            let mut pos = 0usize;
-            for &(o, len) in &agg_cycle[*src] {
-                cbuf[(o - stage.blo) as usize..(o - stage.blo + len) as usize]
-                    .copy_from_slice(&payload[pos..pos + len as usize]);
-                pos += len as usize;
-                total_placed += len;
+        // Sieve prefetch (`flexio_sieve_prefetch`): fetch the NEXT
+        // cycle's gap data now, nonblockingly alongside this cycle's
+        // commit, so its read-modify-write no longer starts with a
+        // blocking read. The window rides this cycle's I/O completion,
+        // which the pipeline already overlaps with the next exchange.
+        // Safe because each cycle's spanning range is a disjoint slice of
+        // this aggregator's realm — nothing written later can change the
+        // prefetched bytes. A faulted prefetch is dropped (the fallback
+        // blocking read retries on its own schedule); its wire time still
+        // extends the window, as a real speculative read would.
+        if self.hints.sieve_prefetch && i + 1 < self.cycles.len() {
+            if let Some((nblo, nspan, true)) = cycle_span(&self.cycles[i + 1].agg_cycle) {
+                let mut buf = vec![0u8; nspan as usize];
+                let op = self.handle.pread_nb(t0, nblo, &mut buf);
+                t_done = t_done.max(op.done_at());
+                if op.error().is_none() {
+                    self.prefetch = Some(SievePrefetch { cycle: i + 1, blo: nblo, buf });
+                }
             }
         }
-        self.rank.charge_memcpy(total_placed);
-        let t0 = self.rank.now();
-        let (t_done, e) =
-            retry_io(self.rank, self.hints, t0, |at| self.handle.write(at, stage.blo, &cbuf));
-        err = err.or(e);
         Some((IoCompletion::span(t0, t_done).or_error(err), None))
     }
 }
@@ -546,7 +646,10 @@ impl CycleDriver for RomioRead<'_, '_> {
 
     fn exchange(&mut self, i: usize, incoming: Option<RomioReadStage>) -> Option<RomioReadStage> {
         let RomioCycle { my_cycle, agg_cycle } = &self.cycles[i];
-        // Aggregator: slice the collective buffer per client.
+        // Aggregator: slice the collective buffer per client. The buffer
+        // persists in the stage, so zero-copy sends each client an iovec
+        // run list pointing straight into it — the slicing pass below is
+        // then wire representation only, not a charged copy.
         let mut sends: Vec<(usize, Vec<u8>)> = Vec::new();
         if let Some(stage) = incoming {
             let mut total = 0u64;
@@ -563,7 +666,10 @@ impl CycleDriver for RomioRead<'_, '_> {
                 }
                 sends.push((c, payload));
             }
-            self.rank.charge_memcpy(total);
+            if !self.hints.zero_copy {
+                self.rank.charge_memcpy(total);
+                self.rank.note_bytes_copied(total);
+            }
         }
         let recv_from: Vec<usize> = my_cycle
             .iter()
@@ -593,7 +699,11 @@ impl CycleDriver for RomioRead<'_, '_> {
                 pos += p.len as usize;
                 total += p.len;
             }
-            self.rank.charge_memcpy(total);
+            if !self.hints.zero_copy {
+                // Zero-copy receives into the user buffer's runs directly.
+                self.rank.charge_memcpy(total);
+                self.rank.note_bytes_copied(total);
+            }
         }
         None
     }

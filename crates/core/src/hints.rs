@@ -98,6 +98,23 @@ pub struct Hints {
     /// (`flexio_retry_backoff_us`); doubles on each subsequent retry and
     /// is charged in virtual time like any other wait.
     pub retry_backoff_us: u64,
+    /// Zero-copy datatype path (`flexio_zero_copy`): move user data as
+    /// borrowed iovec-style segment runs through the exchange and the
+    /// vectored PFS interface instead of packing it into intermediate
+    /// buffers. On (the default) the steady-state collective path moves
+    /// each byte once — pack, collective-buffer assembly, and
+    /// distribution copies disappear from the charge stream and the
+    /// [`flexio_sim::Stats::bytes_copied`] ledger; sieve-resolved groups
+    /// still pack (the RMW patch needs a contiguous stream) and charge
+    /// that one copy. Off reproduces the packed path byte- and
+    /// charge-identically.
+    pub zero_copy: bool,
+    /// Prefetch the ROMIO engine's data-sieving RMW pre-read one pipeline
+    /// cycle ahead (`flexio_sieve_prefetch`), overlapping it with the
+    /// previous cycle instead of blocking inside `issue`. Off by default;
+    /// the bytes are identical either way (cycle windows are disjoint per
+    /// aggregator), only the virtual timing moves.
+    pub sieve_prefetch: bool,
     /// Engine selection.
     pub engine: Engine,
     /// Custom file-realm assigner; overrides the built-in choice
@@ -120,6 +137,8 @@ impl Default for Hints {
             pipeline_depth: PipelineDepth::default(),
             io_retries: 4,
             retry_backoff_us: 100,
+            zero_copy: true,
+            sieve_prefetch: false,
             engine: Engine::default(),
             realm_assigner: None,
         }
@@ -140,6 +159,8 @@ impl std::fmt::Debug for Hints {
             .field("pipeline_depth", &self.pipeline_depth)
             .field("io_retries", &self.io_retries)
             .field("retry_backoff_us", &self.retry_backoff_us)
+            .field("zero_copy", &self.zero_copy)
+            .field("sieve_prefetch", &self.sieve_prefetch)
             .field("engine", &self.engine)
             .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
             .finish()

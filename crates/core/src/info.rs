@@ -21,6 +21,8 @@
 //! | `flexio_pipeline_depth` | `auto` or a positive integer: buffer cycles in flight at once (flexio extension, default auto; `1` = serial, `2` = classic double buffering) |
 //! | `flexio_io_retries` | retries per failed file-system request before the collective agrees on an error (flexio extension, default 4, max 32) |
 //! | `flexio_retry_backoff_us` | base microseconds of the first retry backoff, doubling per retry, charged in virtual time (flexio extension, default 100) |
+//! | `flexio_zero_copy` | `enable`/`disable` the zero-copy datatype path: borrowed segment runs from user buffers through the exchange and the vectored PFS interface instead of packed staging copies (flexio extension, default enable; disable reproduces the packed path byte- and charge-identically) |
+//! | `flexio_sieve_prefetch` | `enable`/`disable` prefetching the ROMIO engine's data-sieving RMW pre-read one pipeline cycle ahead (flexio extension, default disable) |
 //!
 //! Unknown keys are ignored, as MPI requires.
 
@@ -119,6 +121,22 @@ pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
                     _ => PipelineDepth::Fixed(value.parse().map_err(|_| {
                         IoError::BadHints("flexio_pipeline_depth takes auto or a positive integer")
                     })?),
+                };
+            }
+            "flexio_zero_copy" => {
+                h.zero_copy = match value {
+                    "enable" | "true" => true,
+                    "disable" | "false" => false,
+                    _ => return Err(IoError::BadHints("flexio_zero_copy takes enable/disable")),
+                };
+            }
+            "flexio_sieve_prefetch" => {
+                h.sieve_prefetch = match value {
+                    "enable" | "true" => true,
+                    "disable" | "false" => false,
+                    _ => {
+                        return Err(IoError::BadHints("flexio_sieve_prefetch takes enable/disable"))
+                    }
                 };
             }
             "flexio_io_retries" => {
@@ -251,6 +269,26 @@ mod tests {
         assert!(hints_from_info(Hints::default(), &[("flexio_retry_backoff_us", "-1")]).is_err());
         // Hints::validate bounds the doubling backoff at the end of parsing.
         assert!(hints_from_info(Hints::default(), &[("flexio_io_retries", "33")]).is_err());
+    }
+
+    #[test]
+    fn zero_copy_switch() {
+        assert!(Hints::default().zero_copy);
+        let h = hints_from_info(Hints::default(), &[("flexio_zero_copy", "disable")]).unwrap();
+        assert!(!h.zero_copy);
+        let h = hints_from_info(h, &[("flexio_zero_copy", "enable")]).unwrap();
+        assert!(h.zero_copy);
+        assert!(hints_from_info(Hints::default(), &[("flexio_zero_copy", "mostly")]).is_err());
+    }
+
+    #[test]
+    fn sieve_prefetch_switch() {
+        assert!(!Hints::default().sieve_prefetch);
+        let h = hints_from_info(Hints::default(), &[("flexio_sieve_prefetch", "enable")]).unwrap();
+        assert!(h.sieve_prefetch);
+        let h = hints_from_info(h, &[("flexio_sieve_prefetch", "disable")]).unwrap();
+        assert!(!h.sieve_prefetch);
+        assert!(hints_from_info(Hints::default(), &[("flexio_sieve_prefetch", "soon")]).is_err());
     }
 
     #[test]

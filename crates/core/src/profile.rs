@@ -20,6 +20,9 @@ pub struct Profile {
     pub pairs_total: u64,
     /// Total buffer-copy bytes across ranks.
     pub memcpy_total: u64,
+    /// Total bytes moved through intermediate staging buffers on the
+    /// collective data path across ranks (the zero-copy ledger).
+    pub bytes_copied_total: u64,
     /// Total messages sent across ranks.
     pub msgs_total: u64,
     /// Total payload bytes sent across ranks.
@@ -52,6 +55,7 @@ impl Profile {
             p.io_ns_max = p.io_ns_max.max(s.phase_ns[Phase::Io as usize]);
             p.pairs_total += s.pairs_processed;
             p.memcpy_total += s.memcpy_bytes;
+            p.bytes_copied_total += s.bytes_copied;
             p.msgs_total += s.msgs_sent;
             p.bytes_sent_total += s.bytes_sent;
             p.overlap_saved_total_ns += s.overlap_saved_ns;
@@ -76,8 +80,10 @@ impl Profile {
                 bytes_sent: a.bytes_sent - b.bytes_sent,
                 pairs_processed: a.pairs_processed - b.pairs_processed,
                 memcpy_bytes: a.memcpy_bytes - b.memcpy_bytes,
+                bytes_copied: a.bytes_copied - b.bytes_copied,
                 schedule_cache_hits: a.schedule_cache_hits - b.schedule_cache_hits,
                 schedule_cache_misses: a.schedule_cache_misses - b.schedule_cache_misses,
+                schedule_cache_patches: a.schedule_cache_patches - b.schedule_cache_patches,
                 flatten_cache_hits: a.flatten_cache_hits - b.flatten_cache_hits,
                 flatten_cache_misses: a.flatten_cache_misses - b.flatten_cache_misses,
                 overlap_saved_ns: a.overlap_saved_ns - b.overlap_saved_ns,

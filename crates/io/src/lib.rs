@@ -299,6 +299,138 @@ pub fn read_packed_nb(
     IoCompletion::new(now, done_at, err)
 }
 
+/// Scatter-gather twin of [`write_packed_nb`]: the packed stream arrives
+/// as an iovec-style run list (`runs`, concatenating to the segments'
+/// bytes) instead of one contiguous buffer, so callers holding borrowed
+/// user-buffer or received-payload slices skip the intermediate packed
+/// copy. Segment boundaries and run boundaries cut the same byte stream
+/// independently — neither needs to nest in the other.
+///
+/// Charged identically to [`write_packed_nb`] of the same segments: the
+/// PFS sees the same requests (vectored where the packed path was
+/// contiguous per request). Data sieving still assembles a contiguous
+/// patch stream internally — the sieve chunk RMW needs one — which is why
+/// engines route sieve-resolved groups through the packed path and charge
+/// that copy explicitly.
+pub fn write_gathered_nb(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    runs: &[&[u8]],
+    method: &IoMethod,
+    pattern_extent: u64,
+) -> IoCompletion {
+    if segs.is_empty() {
+        return IoCompletion::span(now, now);
+    }
+    let run_total: usize = runs.iter().map(|r| r.len()).sum();
+    check_segs(segs, run_total);
+    let (done_at, err) = match resolve(method, segs, pattern_extent) {
+        Resolved::Contiguous => {
+            let op = h.pwritev_nb(now, segs[0].0, runs);
+            (op.done_at(), op.error())
+        }
+        Resolved::Naive => {
+            // One vectored request per segment, the sub-runs carved out of
+            // the shared stream; completion times chain like list I/O.
+            let mut t = now;
+            let mut err = None;
+            let mut ri = 0usize;
+            let mut within = 0usize;
+            for &(off, len) in segs {
+                let mut sub: Vec<&[u8]> = Vec::new();
+                let mut remaining = len as usize;
+                while remaining > 0 {
+                    let r = runs[ri];
+                    let take = (r.len() - within).min(remaining);
+                    sub.push(&r[within..within + take]);
+                    within += take;
+                    remaining -= take;
+                    if within == r.len() {
+                        ri += 1;
+                        within = 0;
+                    }
+                }
+                let op = h.pwritev_nb(t, off, &sub);
+                t = op.done_at();
+                err = err.or(op.error());
+            }
+            (t, err)
+        }
+        Resolved::DataSieve(buffer) => {
+            // The sieve RMW patches a contiguous chunk stream: assemble one
+            // here. Callers wanting this copy *charged* use the packed path.
+            let mut joined = Vec::with_capacity(run_total);
+            for r in runs {
+                joined.extend_from_slice(r);
+            }
+            sieve_write(h, now, segs, &joined, buffer)
+        }
+    };
+    IoCompletion::new(now, done_at, err)
+}
+
+/// Scatter-gather twin of [`read_packed_nb`]: the segments' bytes land
+/// straight in the caller's run list (`dests`, filled in stream order)
+/// with no intermediate packed buffer. Charged identically to
+/// [`read_packed_nb`] of the same segments; sieve chunks extract into the
+/// destination runs directly (the chunk buffer is inherent to sieving).
+pub fn read_scattered_nb(
+    h: &FileHandle,
+    now: u64,
+    segs: &[(u64, u64)],
+    dests: &mut [&mut [u8]],
+    method: &IoMethod,
+    pattern_extent: u64,
+) -> IoCompletion {
+    if segs.is_empty() {
+        return IoCompletion::span(now, now);
+    }
+    let dest_total: usize = dests.iter().map(|d| d.len()).sum();
+    check_segs(segs, dest_total);
+    let (done_at, err) = match resolve(method, segs, pattern_extent) {
+        Resolved::Contiguous => {
+            let op = h.preadv_nb(now, segs[0].0, dests);
+            (op.done_at(), op.error())
+        }
+        Resolved::Naive => {
+            let mut t = now;
+            let mut err = None;
+            let mut iter = dests.iter_mut();
+            let mut cur: &mut [u8] = &mut [];
+            for &(off, len) in segs {
+                let mut sub: Vec<&mut [u8]> = Vec::new();
+                let mut remaining = len as usize;
+                while remaining > 0 {
+                    while cur.is_empty() {
+                        cur = std::mem::take(iter.next().expect("dest runs exhausted"));
+                    }
+                    let take = cur.len().min(remaining);
+                    let (head, tail) = std::mem::take(&mut cur).split_at_mut(take);
+                    sub.push(head);
+                    cur = tail;
+                    remaining -= take;
+                }
+                let op = h.preadv_nb(t, off, &mut sub);
+                t = op.done_at();
+                err = err.or(op.error());
+            }
+            (t, err)
+        }
+        Resolved::DataSieve(buffer) => {
+            let mut packed = vec![0u8; dest_total];
+            let (t, err) = sieve_read(h, now, segs, &mut packed, buffer);
+            let mut pos = 0usize;
+            for d in dests.iter_mut() {
+                d.copy_from_slice(&packed[pos..pos + d.len()]);
+                pos += d.len();
+            }
+            (t, err)
+        }
+    };
+    IoCompletion::new(now, done_at, err)
+}
+
 /// Data-sieving write: for each sieve-buffer-sized chunk of the covering
 /// extent, pre-read it (unless the chunk is fully covered by data), patch
 /// in the packed bytes, and write the whole chunk back.
@@ -692,6 +824,109 @@ mod tests {
             assert_eq!(r.wait(0).unwrap(), r.done_at());
             assert_eq!(r.wait(r.done_at() + 3).unwrap(), r.done_at() + 3);
         }
+    }
+
+    /// Split `data` into runs at pseudo-odd boundaries so run cuts and
+    /// segment cuts never line up by accident.
+    fn odd_runs(data: &[u8]) -> Vec<&[u8]> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut step = 3usize;
+        while pos < data.len() {
+            let take = step.min(data.len() - pos);
+            out.push(&data[pos..pos + take]);
+            pos += take;
+            step = step % 7 + 3; // 3,6,4,7,3,...
+        }
+        out
+    }
+
+    #[test]
+    fn gathered_write_matches_packed_in_time_and_bytes() {
+        for method in [
+            IoMethod::Naive,
+            IoMethod::DataSieve { buffer: 48 },
+            IoMethod::default(),
+        ] {
+            let pfs_a = timed_pfs();
+            let pfs_b = timed_pfs();
+            let ha = pfs_a.open("f", 0);
+            let hb = pfs_b.open("f", 0);
+            let segs = strided_segs(11, 9, 6, 31);
+            let data = packed_for(&segs);
+            let packed = write_packed_nb(&ha, 700, &segs, &data, &method, 100);
+            let runs = odd_runs(&data);
+            let gathered = write_gathered_nb(&hb, 700, &segs, &runs, &method, 100);
+            assert_eq!(gathered.done_at(), packed.done_at(), "method {method:?}");
+            // Compare stats before readback: reading from another client
+            // revokes the writer's cached pages and the flush traffic
+            // would skew whichever side is read first.
+            assert_eq!(
+                pfs_a.stats().bytes_written,
+                pfs_b.stats().bytes_written,
+                "method {method:?}"
+            );
+            assert_eq!(
+                pfs_a.stats().ost_requests,
+                pfs_b.stats().ost_requests,
+                "method {method:?} request count"
+            );
+            assert_eq!(readback(&pfs_b, &segs), data, "method {method:?}");
+            assert_eq!(readback(&pfs_a, &segs), data, "method {method:?}");
+        }
+    }
+
+    #[test]
+    fn scattered_read_matches_packed_in_time_and_bytes() {
+        for method in [
+            IoMethod::Naive,
+            IoMethod::DataSieve { buffer: 48 },
+            IoMethod::default(),
+        ] {
+            // Twin filesystems: a read advances the OST clocks and warms
+            // the client cache, so running both reads against one PFS
+            // would make the second strictly cheaper.
+            let pfs_a = timed_pfs();
+            let pfs_b = timed_pfs();
+            let ha = pfs_a.open("f", 0);
+            let hb = pfs_b.open("f", 0);
+            let segs = strided_segs(11, 9, 6, 31);
+            let data = packed_for(&segs);
+            let ta = write_packed(&ha, 0, &segs, &data, &IoMethod::Naive, 100).unwrap();
+            let tb = write_packed(&hb, 0, &segs, &data, &IoMethod::Naive, 100).unwrap();
+            assert_eq!(ta, tb);
+            let t = ta;
+            let mut packed_out = vec![0u8; data.len()];
+            let packed = read_packed_nb(&ha, t, &segs, &mut packed_out, &method, 100);
+            // Scatter into unevenly sized destination runs (incl. empties).
+            let mut bufs: Vec<Vec<u8>> = Vec::new();
+            let mut remaining = data.len();
+            let mut step = 5usize;
+            while remaining > 0 {
+                let take = step.min(remaining);
+                bufs.push(vec![0u8; take]);
+                bufs.push(Vec::new()); // empty runs must be skipped cleanly
+                remaining -= take;
+                step = step % 6 + 2;
+            }
+            let mut dests: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            let scattered = read_scattered_nb(&hb, t, &segs, &mut dests, &method, 100);
+            assert_eq!(scattered.done_at(), packed.done_at(), "method {method:?}");
+            let got: Vec<u8> = bufs.concat();
+            assert_eq!(got, data, "method {method:?}");
+            assert_eq!(packed_out, data);
+        }
+    }
+
+    #[test]
+    fn gathered_empty_runs_and_segments_noop() {
+        let pfs = pfs();
+        let h = pfs.open("f", 0);
+        let c = write_gathered_nb(&h, 5, &[], &[], &IoMethod::Naive, 0);
+        assert_eq!((c.issued_at(), c.done_at()), (5, 5));
+        let r = read_scattered_nb(&h, 7, &[], &mut [], &IoMethod::Naive, 0);
+        assert_eq!((r.issued_at(), r.done_at()), (7, 7));
+        assert_eq!(h.size(), 0);
     }
 
     #[test]

@@ -748,6 +748,38 @@ impl FileHandle {
         NbOp::from_result(now, self.read(now, off, buf))
     }
 
+    /// Gathered nonblocking write: the concatenation of `bufs` lands at
+    /// `off` as one request — the PFS client ships an iovec run list, so
+    /// callers holding scattered source runs (borrowed user-buffer or
+    /// received-payload slices) need no intermediate packed copy. Charged
+    /// exactly like a [`FileHandle::pwrite_nb`] of the same span; the
+    /// assembly below is wire representation, not modeled data movement.
+    pub fn pwritev_nb(&self, now: u64, off: u64, bufs: &[&[u8]]) -> NbOp {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let mut joined = Vec::with_capacity(total);
+        for b in bufs {
+            joined.extend_from_slice(b);
+        }
+        NbOp::from_result(now, self.write(now, off, &joined))
+    }
+
+    /// Scattered nonblocking read: one request for the span starting at
+    /// `off`, delivered straight into the caller's run list (`dests`
+    /// filled in order) — the read-side iovec twin of
+    /// [`FileHandle::pwritev_nb`], charged exactly like a
+    /// [`FileHandle::pread_nb`] of the same span.
+    pub fn preadv_nb(&self, now: u64, off: u64, dests: &mut [&mut [u8]]) -> NbOp {
+        let total: usize = dests.iter().map(|d| d.len()).sum();
+        let mut span = vec![0u8; total];
+        let op = NbOp::from_result(now, self.read(now, off, &mut span));
+        let mut pos = 0usize;
+        for d in dests.iter_mut() {
+            d.copy_from_slice(&span[pos..pos + d.len()]);
+            pos += d.len();
+        }
+        op
+    }
+
     /// Nonblocking [`FileHandle::sieve_chunk_write`]: the whole
     /// read-modify-write commits atomically at issue time; the handle
     /// carries its virtual window (and any injected fault).

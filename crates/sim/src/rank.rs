@@ -39,12 +39,24 @@ pub struct Stats {
     pub pairs_processed: u64,
     /// Bytes charged via [`Rank::charge_memcpy`].
     pub memcpy_bytes: u64,
+    /// Bytes the collective engine moved through intermediate staging
+    /// buffers on the data path (pack, collective-buffer assembly,
+    /// distribution slicing, sieve double-buffering). Recorded via
+    /// [`Rank::note_bytes_copied`] — a pure ledger, no virtual time. The
+    /// zero-copy datatype path exists to drive this down; the counter
+    /// makes the elimination measurable rather than asserted.
+    pub bytes_copied: u64,
     /// Virtual ns attributed to compute / comm / io phases.
     pub phase_ns: [u64; 3],
     /// Exchange-schedule cache hits (collective-engine layer).
     pub schedule_cache_hits: u64,
     /// Exchange-schedule cache misses (probes that had to re-derive).
     pub schedule_cache_misses: u64,
+    /// Cached schedules patched in place after a straggler realm
+    /// rebalance (windows re-cut against the new realms without
+    /// re-parsing wire metadata) — a rebalance no longer costs a full
+    /// miss on the next call.
+    pub schedule_cache_patches: u64,
     /// Flatten-cache hits (datatype layer).
     pub flatten_cache_hits: u64,
     /// Flatten-cache misses.
@@ -186,6 +198,20 @@ impl Rank {
     /// Attribute `ns` of already-elapsed virtual time to a phase.
     pub fn note_phase(&self, phase: Phase, ns: u64) {
         self.stats.borrow_mut().phase_ns[phase as usize] += ns;
+    }
+
+    /// Record `bytes` moved through an intermediate staging buffer on the
+    /// collective data path ([`Stats::bytes_copied`]). A ledger entry
+    /// only: callers charge the copy's virtual time separately (usually
+    /// via [`Rank::charge_memcpy`]) when the exchange mode models it.
+    pub fn note_bytes_copied(&self, bytes: u64) {
+        self.stats.borrow_mut().bytes_copied += bytes;
+    }
+
+    /// Record an in-place patch of the cached exchange schedule after a
+    /// realm rebalance ([`Stats::schedule_cache_patches`]).
+    pub fn note_schedule_cache_patch(&self) {
+        self.stats.borrow_mut().schedule_cache_patches += 1;
     }
 
     /// Record an exchange-schedule cache probe outcome.

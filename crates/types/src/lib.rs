@@ -24,7 +24,9 @@ pub mod view;
 pub use datatype::{Datatype, Dt};
 pub use flatten::{flatten, flatten_shared, FlatType, Seg};
 pub use subarray::{darray, subarray, Distribution};
-pub use view::{pack, unpack, FileView, MemLayout, Piece, ViewCursor, ViewError};
+pub use view::{
+    pack, unpack, FileView, MemLayout, MemRun, MemRuns, Piece, RunOffsets, ViewCursor, ViewError,
+};
 
 #[cfg(all(test, feature = "proptests"))]
 mod proptests {

@@ -354,21 +354,29 @@ impl MemLayout {
 
     fn for_each_run(&self, data_start: u64, len: u64, mut f: impl FnMut(u64, u64, u64)) {
         // f(buffer_offset, data_pos, run_len)
-        assert!(data_start + len <= self.total(), "data range outside layout");
-        let mut d = data_start;
-        let mut remaining = len;
-        while remaining > 0 {
-            let tile = d / self.flat.size;
-            let within = d % self.flat.size;
-            let (i, rel) = self.flat.data_to_displ(within);
-            let seg_room = self.flat.segs[i].len - (within - self.flat.prefix[i]);
-            let run = seg_room.min(remaining);
-            let buf_off = (tile * self.flat.extent) as i64 + rel;
-            debug_assert!(buf_off >= 0, "memory layout with negative buffer offset");
-            f(buf_off as u64, d, run);
-            d += run;
-            remaining -= run;
+        for (buf_off, d, run) in self.run_offsets(data_start, len) {
+            f(buf_off, d, run);
         }
+    }
+
+    /// Iterate the `(buffer_offset, data_pos, run_len)` segment runs
+    /// covering `len` data bytes from data position `data_start` — the
+    /// flattened view's decomposition of the range into maximal
+    /// contiguous buffer stretches, without touching any bytes.
+    pub fn run_offsets(&self, data_start: u64, len: u64) -> RunOffsets {
+        assert!(data_start + len <= self.total(), "data range outside layout");
+        RunOffsets { flat: Arc::clone(&self.flat), d: data_start, remaining: len }
+    }
+
+    /// Iterate borrowed segment runs of `buf` covering `len` data bytes
+    /// from `data_start`: each item is a maximal contiguous `&[u8]` slice
+    /// of the user buffer tagged with its data position. This is the
+    /// zero-copy gather — an iovec-style run list straight off the
+    /// flattened view, no intermediate packed `Vec<u8>`. The runs borrow
+    /// `buf` immutably and never overlap in data space; callers pair them
+    /// with file offsets from the file view's pieces.
+    pub fn runs<'a>(&self, buf: &'a [u8], data_start: u64, len: u64) -> MemRuns<'a> {
+        MemRuns { offsets: self.run_offsets(data_start, len), buf }
     }
 
     /// Copy `len` data bytes starting at data position `data_start` out of
@@ -393,6 +401,62 @@ impl MemLayout {
                 .copy_from_slice(&src[o..o + run as usize]);
             o += run as usize;
         });
+    }
+}
+
+/// Iterator over the `(buffer_offset, data_pos, run_len)` runs of a
+/// [`MemLayout`] range (see [`MemLayout::run_offsets`]).
+#[derive(Debug, Clone)]
+pub struct RunOffsets {
+    flat: Arc<FlatType>,
+    d: u64,
+    remaining: u64,
+}
+
+impl Iterator for RunOffsets {
+    type Item = (u64, u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64, u64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let tile = self.d / self.flat.size;
+        let within = self.d % self.flat.size;
+        let (i, rel) = self.flat.data_to_displ(within);
+        let seg_room = self.flat.segs[i].len - (within - self.flat.prefix[i]);
+        let run = seg_room.min(self.remaining);
+        let buf_off = (tile * self.flat.extent) as i64 + rel;
+        debug_assert!(buf_off >= 0, "memory layout with negative buffer offset");
+        let item = (buf_off as u64, self.d, run);
+        self.d += run;
+        self.remaining -= run;
+        Some(item)
+    }
+}
+
+/// One borrowed segment run of user memory (see [`MemLayout::runs`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MemRun<'a> {
+    /// Data position (packed-stream offset) of the run's first byte.
+    pub data_pos: u64,
+    /// The run's bytes, borrowed straight from the user buffer.
+    pub bytes: &'a [u8],
+}
+
+/// Iterator over borrowed segment runs of a user buffer (see
+/// [`MemLayout::runs`]).
+#[derive(Debug, Clone)]
+pub struct MemRuns<'a> {
+    offsets: RunOffsets,
+    buf: &'a [u8],
+}
+
+impl<'a> Iterator for MemRuns<'a> {
+    type Item = MemRun<'a>;
+
+    fn next(&mut self) -> Option<MemRun<'a>> {
+        let (buf_off, data_pos, run) = self.offsets.next()?;
+        Some(MemRun { data_pos, bytes: &self.buf[buf_off as usize..(buf_off + run) as usize] })
     }
 }
 
@@ -478,6 +542,50 @@ mod tests {
             let off = v.data_to_file(d);
             assert_eq!(v.file_to_data_lower(off), d, "data byte {d} at off {off}");
         }
+    }
+
+    #[test]
+    fn runs_reassemble_to_gather() {
+        // 3 segs per tile (lens 2, at buffer displs 0, 5, 9), 4 tiles:
+        // the borrowed runs concatenated must equal the packed gather,
+        // from any starting data position and length.
+        let dt = Datatype::indexed(vec![(0, 2), (5, 2), (9, 2)], Datatype::bytes(1));
+        let flat = Arc::new(flatten(&dt));
+        let m = MemLayout::new(Arc::clone(&flat), 4);
+        let buf: Vec<u8> = (0..m.span()).map(|i| (i % 251) as u8).collect();
+        for start in 0..m.total() {
+            for len in 0..=(m.total() - start) {
+                let mut want = vec![0u8; len as usize];
+                m.gather(&buf, start, &mut want);
+                let mut got = Vec::new();
+                let mut d = start;
+                for run in m.runs(&buf, start, len) {
+                    assert_eq!(run.data_pos, d, "runs must be dense in data space");
+                    d += run.bytes.len() as u64;
+                    got.extend_from_slice(run.bytes);
+                }
+                assert_eq!(got, want, "start {start} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_offsets_are_maximal_and_bounded() {
+        let dt = Datatype::resized(0, 8, Datatype::bytes(4));
+        let flat = Arc::new(flatten(&dt));
+        let m = MemLayout::new(flat, 3);
+        let runs: Vec<_> = m.run_offsets(2, 8).collect();
+        // 2 bytes left in tile 0's segment, the full 4 of tile 1, 2 of
+        // tile 2 — each run maximal within its segment.
+        assert_eq!(runs, vec![(2, 2, 2), (8, 4, 4), (16, 8, 2)]);
+        assert_eq!(m.run_offsets(0, 0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data range outside layout")]
+    fn run_offsets_reject_out_of_range() {
+        let m = MemLayout::contiguous(4);
+        let _ = m.run_offsets(2, 3);
     }
 
     #[test]

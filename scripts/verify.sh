@@ -46,6 +46,16 @@ if [ "$THOROUGH" = 1 ]; then
   FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
     PROPTEST_CASES="${PROPTEST_CASES:-512}" \
     cargo test -q --release --offline --test engine_pipeline_parity
+
+  # Zerocopy leg: the same parity + chaos sweeps with the packed staging
+  # path forced (`flexio_zero_copy` off), same seeds — both sides of the
+  # hint must hold every invariant. The zero-copy side is the default
+  # above, so only the off side needs a separate pass.
+  echo "== zerocopy-off sweep (parity + chaos, FLEXIO_ZERO_COPY=disable) =="
+  FLEXIO_ZERO_COPY=disable \
+    FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+    PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+    cargo test -q --release --offline --test engine_pipeline_parity --test fault_injection
 fi
 
 echo "== tier-1 verification passed =="

@@ -107,10 +107,24 @@ fn random_parity(rng: &mut XorShift64Star) -> Parity {
 /// Each rank's `(elapsed, stats, per-call outcomes, read-back)`.
 type RankOutcome = (u64, Stats, Vec<Result<(), IoError>>, Vec<u8>);
 
+/// CI's `zerocopy` matrix leg sweeps the differential suites on both
+/// sides of the `flexio_zero_copy` hint with the same seeds:
+/// `FLEXIO_ZERO_COPY=disable` (or `0`/`off`) forces the packed staging
+/// path; anything else (and unset) keeps the zero-copy default.
+fn env_zero_copy() -> bool {
+    !matches!(std::env::var("FLEXIO_ZERO_COPY").as_deref(), Ok("disable") | Ok("0") | Ok("off"))
+}
+
 /// Run `p`'s workload (`steps` collective writes, one collective read)
-/// under `engine` at `depth`. Returns the file image, every rank's
-/// outcome, and the PFS nonblocking-queue high-water mark.
-fn roundtrip(p: &Parity, engine: Engine, depth: PipelineDepth) -> (Vec<u8>, Vec<RankOutcome>, u64) {
+/// under `engine` at `depth` with the zero-copy datatype path on or off.
+/// Returns the file image, every rank's outcome, and the PFS
+/// nonblocking-queue high-water mark.
+fn roundtrip(
+    p: &Parity,
+    engine: Engine,
+    depth: PipelineDepth,
+    zero_copy: bool,
+) -> (Vec<u8>, Vec<RankOutcome>, u64) {
     let pfs = timed_pfs(p.plan.as_ref());
     let hints = Hints {
         engine,
@@ -119,6 +133,7 @@ fn roundtrip(p: &Parity, engine: Engine, depth: PipelineDepth) -> (Vec<u8>, Vec<
         cb_buffer_size: p.cb,
         exchange: p.exchange,
         schedule_cache: p.cache,
+        zero_copy,
         io_retries: 12,
         ..Hints::default()
     };
@@ -167,8 +182,9 @@ fn pipelined_engines_match_their_serial_oracles() {
         .run(random_parity, |p| {
             let mut images: Vec<Vec<u8>> = Vec::new();
             for engine in [Engine::Romio, Engine::Flexible] {
-                let (img_d, out_d, peak_d) = roundtrip(p, engine, p.depth);
-                let (img_1, out_1, peak_1) = roundtrip(p, engine, PipelineDepth::Fixed(1));
+                let zc = env_zero_copy();
+                let (img_d, out_d, peak_d) = roundtrip(p, engine, p.depth, zc);
+                let (img_1, out_1, peak_1) = roundtrip(p, engine, PipelineDepth::Fixed(1), zc);
                 assert_eq!(
                     img_d, img_1,
                     "{engine:?}: file image diverges from the depth-1 oracle"
@@ -208,6 +224,70 @@ fn pipelined_engines_match_their_serial_oracles() {
             }
             assert_eq!(images[0], images[1], "engines disagree on the bytes");
         });
+}
+
+/// Zero-copy differential property: for each random case (including the
+/// fault-plan cases), both engines run the same workload with
+/// `flexio_zero_copy` on and off. Disabling it must reproduce the packed
+/// staging path byte for byte, and zero-copy may only *remove* staging
+/// copies — never add messages, pairs, or payload bytes, and never move
+/// different bytes. Under `Alltoallw` the packed path already models no
+/// staging copies, so there the two settings must charge identically.
+#[test]
+fn zero_copy_parity_with_packed_staging() {
+    Runner::new("zero_copy_parity_with_packed_staging").cases(10).run(random_parity, |p| {
+        for engine in [Engine::Romio, Engine::Flexible] {
+            let (img_on, out_on, _) = roundtrip(p, engine, p.depth, true);
+            let (img_off, out_off, _) = roundtrip(p, engine, p.depth, false);
+            assert_eq!(img_on, img_off, "{engine:?}: zero-copy changed the bytes on disk");
+            for r in 0..p.nprocs {
+                let (now_on, on) = (&out_on[r].0, &out_on[r].1);
+                let (now_off, off) = (&out_off[r].0, &out_off[r].1);
+                assert_eq!(out_on[r].2, out_off[r].2, "{engine:?}: rank {r} outcome split");
+                assert_eq!(out_on[r].3, out_off[r].3, "{engine:?}: rank {r} read-back");
+                assert_eq!(on.pairs_processed, off.pairs_processed, "{engine:?}: rank {r} pairs");
+                assert_eq!(on.msgs_sent, off.msgs_sent, "{engine:?}: rank {r} messages");
+                assert_eq!(on.bytes_sent, off.bytes_sent, "{engine:?}: rank {r} payload");
+                assert_eq!(
+                    on.phase_ns.iter().sum::<u64>(),
+                    *now_on,
+                    "{engine:?}: rank {r} zero-copy phase sum"
+                );
+                assert_eq!(
+                    off.phase_ns.iter().sum::<u64>(),
+                    *now_off,
+                    "{engine:?}: rank {r} packed phase sum"
+                );
+                assert!(
+                    on.bytes_copied <= off.bytes_copied,
+                    "{engine:?}: rank {r} zero-copy raised the staging ledger ({} > {})",
+                    on.bytes_copied,
+                    off.bytes_copied
+                );
+                assert!(
+                    on.memcpy_bytes <= off.memcpy_bytes,
+                    "{engine:?}: rank {r} zero-copy raised copy charges ({} > {})",
+                    on.memcpy_bytes,
+                    off.memcpy_bytes
+                );
+                // ROMIO ignores the exchange hint (always point-to-point
+                // staging), so the copy-free Alltoallw identity is a
+                // flexible-engine property only. Clocks are not compared:
+                // overlapped cycles at shared OSTs make virtual time
+                // schedule-order sensitive; the work counters are not.
+                if engine == Engine::Flexible && matches!(p.exchange, ExchangeMode::Alltoallw) {
+                    assert_eq!(
+                        on.memcpy_bytes, off.memcpy_bytes,
+                        "{engine:?}: rank {r} alltoallw copies"
+                    );
+                    assert_eq!(
+                        on.bytes_copied, off.bytes_copied,
+                        "{engine:?}: rank {r} alltoallw ledger"
+                    );
+                }
+            }
+        }
+    });
 }
 
 /// The fixture workload every ROMIO charge fixture below runs — the same
@@ -274,10 +354,12 @@ const ROMIO_SERIAL_2AGG: [ChargeRow; 4] = [
 #[test]
 fn romio_depth_1_replays_pre_refactor_charge_sequence() {
     for (aggs, want) in [(1usize, &ROMIO_SERIAL_1AGG), (2, &ROMIO_SERIAL_2AGG)] {
+        // The fixtures replay the pre-zero-copy packed path: pin it.
         let base = Hints {
             engine: Engine::Romio,
             cb_nodes: Some(aggs),
             cb_buffer_size: 512,
+            zero_copy: false,
             ..Hints::default()
         };
         let out = fixture_run(Hints {
@@ -300,6 +382,8 @@ fn romio_pipeline_hides_time_and_respects_the_cap() {
             pipeline_depth: depth,
             cb_nodes: Some(1),
             cb_buffer_size: 512,
+            // Compared against the packed-path fixture constants below.
+            zero_copy: false,
             ..Hints::default()
         })
     };

@@ -103,6 +103,14 @@ fn chaos_pfs(c: &Chaos, faults: bool) -> Arc<Pfs> {
     }
 }
 
+/// CI's `zerocopy` matrix leg sweeps the chaos suite on both sides of
+/// the `flexio_zero_copy` hint with the same seeds:
+/// `FLEXIO_ZERO_COPY=disable` (or `0`/`off`) forces the packed staging
+/// path; anything else (and unset) keeps the zero-copy default.
+fn env_zero_copy() -> bool {
+    !matches!(std::env::var("FLEXIO_ZERO_COPY").as_deref(), Ok("disable") | Ok("0") | Ok("off"))
+}
+
 fn chaos_hints(c: &Chaos) -> Hints {
     Hints {
         engine: c.engine,
@@ -113,6 +121,7 @@ fn chaos_hints(c: &Chaos) -> Hints {
         pipeline_depth: c.depth,
         io_retries: c.io_retries,
         retry_backoff_us: c.backoff_us,
+        zero_copy: env_zero_copy(),
         ..Hints::default()
     }
 }
@@ -413,6 +422,72 @@ fn rebalance_converges_in_one_detection() {
         c.nprocs as u64,
         "expected one collective rebalance event (one note per rank), got {rebalanced}"
     );
+}
+
+/// A realm rebalance patches the cached exchange schedule in place
+/// instead of dropping it: the call after the handoff still probes as a
+/// hit, so the whole run derives exactly once — the rebalance is a
+/// patch, never a second full miss.
+#[test]
+fn rebalance_patches_schedule_cache_without_a_miss() {
+    // Same geometry as `rebalance_converges_in_one_detection`: OST 0
+    // (x8 slower) slows exactly aggregator 0, one collective handoff.
+    let c = Chaos {
+        nprocs: 6,
+        block: 64,
+        reps: 64,
+        steps: 4,
+        aggs: 3,
+        cb: 2048,
+        engine: Engine::Flexible,
+        exchange: ExchangeMode::Nonblocking,
+        pfr: true,
+        depth: PipelineDepth::Fixed(1),
+        io_retries: 4,
+        backoff_us: 0,
+        locking: false,
+        plan: FaultPlan::straggler(0, 8.0),
+    };
+    let pfs_cfg = PfsConfig {
+        n_osts: 3,
+        stripe_size: 8192,
+        page_size: 64,
+        locking: false,
+        lock_expansion: false,
+        client_cache: false,
+        cost: PfsCostModel::default(),
+    };
+    let mut hints = chaos_hints(&c);
+    hints.fr_alignment = Some(2048);
+    let pfs = Pfs::with_faults(pfs_cfg, c.plan.clone());
+    let w = c.clone();
+    let inner = Arc::clone(&pfs);
+    let out = run(c.nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &inner, "patch", hints.clone()).unwrap();
+        let ftype = Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
+        f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
+        let len = (w.reps * w.block) as usize;
+        for s in 0..w.steps {
+            let data = step_data(rank.rank(), s, len);
+            f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
+        }
+        f.close().unwrap();
+        rank.stats()
+    });
+    let rebalanced: u64 = out.iter().map(|s| s.realms_rebalanced).sum();
+    assert_eq!(rebalanced, c.nprocs as u64, "expected exactly one rebalance event");
+    for (r, s) in out.iter().enumerate() {
+        assert_eq!(s.schedule_cache_patches, 1, "rank {r}: handoff must patch the schedule");
+        assert_eq!(
+            s.schedule_cache_misses, 1,
+            "rank {r}: a rebalance must not cost a second full derivation"
+        );
+        assert_eq!(
+            s.schedule_cache_hits,
+            c.steps - 1,
+            "rank {r}: every later call must replay the (patched) schedule"
+        );
+    }
 }
 
 /// Lock-manager stalls move clocks, not bytes: with locking on, a

@@ -361,6 +361,9 @@ fn old_engine_single_buffer_copies_less_than_new() {
                 engine,
                 cb_nodes: Some(2),
                 io_method: IoMethod::DataSieve { buffer: 512 << 10 },
+                // §5.1 compares the classic packed staging paths; with
+                // zero-copy both engines shed these copies entirely.
+                zero_copy: false,
                 ..Hints::default()
             };
             let mut f = MpiFile::open(rank, &pfs, "f", hints).unwrap();

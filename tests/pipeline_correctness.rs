@@ -197,6 +197,84 @@ fn pipelined_saves_time_single_aggregator() {
 }
 
 #[test]
+fn zero_copy_matches_packed_and_copies_strictly_less() {
+    // `flexio_zero_copy` may only change which copies are modeled, never
+    // the bytes or the work counters: same file image, same read-backs,
+    // same pairs/messages/payload, phase buckets still summing to the
+    // clock — and under the non-blocking exchange the staging ledger (and
+    // the charged copy bytes) must drop strictly.
+    let (nprocs, blocks, steps) = (8, 24, 3);
+    let run_with = |zero_copy: bool| {
+        let pfs = timed_pfs();
+        let hints = Hints {
+            zero_copy,
+            cb_nodes: Some(4),
+            cb_buffer_size: 256,
+            ..Hints::default()
+        };
+        let out = roundtrip(&pfs, "zc", nprocs, blocks, steps, hints);
+        (read_file(&pfs, "zc"), out)
+    };
+    let (img_on, on) = run_with(true);
+    let (img_off, off) = run_with(false);
+    assert_eq!(img_on, img_off, "zero-copy changed the file image");
+    for r in 0..nprocs {
+        let (now_on, s_on, back_on) = &on[r];
+        let (now_off, s_off, back_off) = &off[r];
+        assert_eq!(back_on, back_off, "rank {r} read-back diverged");
+        assert_eq!(s_on.pairs_processed, s_off.pairs_processed, "rank {r} pairs");
+        assert_eq!(s_on.msgs_sent, s_off.msgs_sent, "rank {r} messages");
+        assert_eq!(s_on.bytes_sent, s_off.bytes_sent, "rank {r} payload");
+        assert_eq!(s_on.phase_ns.iter().sum::<u64>(), *now_on, "rank {r} ON phase sum");
+        assert_eq!(s_off.phase_ns.iter().sum::<u64>(), *now_off, "rank {r} OFF phase sum");
+        assert!(
+            s_on.bytes_copied < s_off.bytes_copied,
+            "rank {r} ledger not strictly lower: {} vs {}",
+            s_on.bytes_copied,
+            s_off.bytes_copied
+        );
+        assert!(
+            s_on.memcpy_bytes < s_off.memcpy_bytes,
+            "rank {r} charged copies not strictly lower"
+        );
+        // The ledger only tracks engine staging copies; the charged total
+        // additionally counts transport self-delivery, so it dominates.
+        assert!(s_off.bytes_copied <= s_off.memcpy_bytes, "rank {r} ledger exceeds charges");
+    }
+}
+
+#[test]
+fn alltoallw_zero_copy_is_charge_identical() {
+    // The alltoallw exchange already modeled pack-free sends, so flipping
+    // `flexio_zero_copy` must not move a single charge there — only the
+    // internal staging representation changes.
+    let (nprocs, blocks, steps) = (8, 24, 2);
+    let run_with = |zero_copy: bool| {
+        let pfs = timed_pfs();
+        let hints = Hints {
+            zero_copy,
+            exchange: ExchangeMode::Alltoallw,
+            cb_nodes: Some(4),
+            cb_buffer_size: 256,
+            ..Hints::default()
+        };
+        let out = roundtrip(&pfs, "a2a", nprocs, blocks, steps, hints);
+        (read_file(&pfs, "a2a"), out)
+    };
+    let (img_on, on) = run_with(true);
+    let (img_off, off) = run_with(false);
+    assert_eq!(img_on, img_off, "zero-copy changed the file image");
+    for r in 0..nprocs {
+        let (now_on, s_on, _) = &on[r];
+        let (now_off, s_off, _) = &off[r];
+        assert_eq!(now_on, now_off, "rank {r} clock moved");
+        assert_eq!(s_on.memcpy_bytes, s_off.memcpy_bytes, "rank {r} copies");
+        assert_eq!(s_on.bytes_copied, s_off.bytes_copied, "rank {r} ledger");
+        assert_eq!(s_on.phase_ns, s_off.phase_ns, "rank {r} phases");
+    }
+}
+
+#[test]
 fn cached_replay_pipelines_identically() {
     // A schedule-cache hit must not change what the pipeline overlaps:
     // steps 2..N (replayed) still hide I/O time, and the bytes stay right.

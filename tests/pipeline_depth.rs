@@ -240,6 +240,8 @@ fn depth_2_replays_pr2_charge_sequence() {
         pipeline_depth: depth,
         cb_nodes: Some(1),
         cb_buffer_size: 512,
+        // The fixtures pin the pre-zero-copy packed path's charges.
+        zero_copy: false,
         ..Hints::default()
     };
     let out = fixture_run(hints(PipelineDepth::Fixed(2)));
@@ -250,7 +252,9 @@ fn depth_2_replays_pr2_charge_sequence() {
 fn depth_1_replays_serial_charge_sequence() {
     // Depth 1 and `flexio_double_buffer disable` (whatever the depth hint
     // says) are both the serial engine, charge for charge.
-    let base = Hints { cb_nodes: Some(1), cb_buffer_size: 512, ..Hints::default() };
+    // The fixtures pin the pre-zero-copy packed path's charges.
+    let base =
+        Hints { cb_nodes: Some(1), cb_buffer_size: 512, zero_copy: false, ..Hints::default() };
     let out = fixture_run(Hints {
         pipeline_depth: PipelineDepth::Fixed(1),
         ..base.clone()
