@@ -58,7 +58,12 @@ fn main() {
     println!("# Ablation A3 — realm assignment on sparse clustered access (§7)");
     println!("# {}", scale.describe());
     println!("# columns: nprocs,assigner,mbps");
-    for nprocs in [4usize, 8, 16] {
+    // `--nprocs N` narrows the sweep to the one requested world size.
+    let proc_counts: Vec<usize> = match scale.nprocs {
+        Some(n) => vec![n],
+        None => vec![4, 8, 16],
+    };
+    for nprocs in proc_counts {
         let straggler = cluster * nprocs as u64 * 64; // sparse tail
         let total = cluster * nprocs as u64 + 1;
         for (name, assigner) in [

@@ -80,6 +80,10 @@ fn main() {
     } else {
         (16, 1024, vec![4, 8])
     };
+    let (nprocs, agg_counts) = match scale.nprocs {
+        Some(n) => (n, vec![(n / 8).max(1), (n / 2).max(1)]),
+        None => (nprocs, agg_counts),
+    };
     let spec = HpioSpec {
         region_size: 512,
         region_count: regions,

@@ -14,7 +14,7 @@ use flexio_pfs::{Pfs, PfsConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    let nprocs = if scale.paper { 64 } else { 16 };
+    let nprocs = scale.nprocs_or(if scale.paper { 64 } else { 16 });
     println!("# Ablation A2 — exchange mode (§5.4)");
     println!("# {}", scale.describe());
     println!("# columns: pattern,aggs,mode,mbps");
@@ -27,7 +27,7 @@ fn main() {
     ];
     for (pname, region, count) in patterns {
         let sparse = region > 1024;
-        for aggs in [nprocs / 4, nprocs / 2, nprocs] {
+        for aggs in [(nprocs / 4).max(1), (nprocs / 2).max(1), nprocs] {
             let spec = HpioSpec {
                 region_size: region,
                 region_count: count,

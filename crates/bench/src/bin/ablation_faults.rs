@@ -144,6 +144,12 @@ fn main() {
     } else {
         (16, 8, vec![4, 8])
     };
+    // `--nprocs N` rescales the world; aggregator counts then track the
+    // process count so one OST per aggregator stays meaningful.
+    let (nprocs, agg_counts) = match scale.nprocs {
+        Some(n) => (n, vec![(n / 8).max(1), (n / 2).max(1)]),
+        None => (nprocs, agg_counts),
+    };
 
     println!("# Ablation A7 — fault injection: retries and straggler rebalancing");
     println!("# {}", scale.describe());

@@ -15,7 +15,7 @@ use flexio_types::Datatype;
 fn measure(spec: HpioSpec, engine: Engine, style: TypeStyle) -> (u64, u64) {
     let pfs = Pfs::new(PfsConfig::default());
     let out = run(spec.nprocs, CostModel::default(), move |rank| {
-        let hints = Hints { engine, cb_nodes: Some(spec.nprocs / 2), ..Hints::default() };
+        let hints = Hints { engine, cb_nodes: Some((spec.nprocs / 2).max(1)), ..Hints::default() };
         let mut f = MpiFile::open(rank, &pfs, "meta", hints).unwrap();
         let (disp, ftype) = spec.file_view(rank.rank(), style);
         f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
@@ -32,7 +32,7 @@ fn measure(spec: HpioSpec, engine: Engine, style: TypeStyle) -> (u64, u64) {
 
 fn main() {
     let scale = Scale::from_args();
-    let nprocs = if scale.paper { 64 } else { 16 };
+    let nprocs = scale.nprocs_or(if scale.paper { 64 } else { 16 });
     let counts: Vec<u64> = if scale.paper {
         vec![256, 1024, 4096, 16384]
     } else {

@@ -39,8 +39,9 @@ fn read_ns(pfs: &Arc<Pfs>, spec: HpioSpec, style: TypeStyle, hints: &Hints) -> u
 
 fn main() {
     let scale = Scale::from_args();
-    let (nprocs, regions) = if scale.paper { (64, 4096) } else { (16, 1024) };
-    let aggs = nprocs / 2;
+    let (default_procs, regions) = if scale.paper { (64, 4096) } else { (16, 1024) };
+    let nprocs = scale.nprocs_or(default_procs);
+    let aggs = (nprocs / 2).max(1);
     let region_sizes = [16u64, 64, 256, 1024, 4096];
     let methods: [(&str, Engine, TypeStyle); 3] = [
         ("new+struct", Engine::Flexible, TypeStyle::Succinct),

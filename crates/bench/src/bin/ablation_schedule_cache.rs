@@ -68,7 +68,7 @@ fn run_checkpoint(c: Ckpt, cache: bool) -> Outcome {
                 schedule_cache: cache,
                 persistent_file_realms: true,
                 fr_alignment: Some(c.stripe),
-                cb_nodes: Some(c.nprocs / 2),
+                cb_nodes: Some((c.nprocs / 2).max(1)),
                 io_method: IoMethod::DataSieve { buffer: 512 << 10 },
                 ..Hints::default()
             };
@@ -105,11 +105,12 @@ fn run_checkpoint(c: Ckpt, cache: bool) -> Outcome {
 
 fn main() {
     let scale = Scale::from_args();
-    let c = if scale.paper {
+    let mut c = if scale.paper {
         Ckpt { nprocs: 64, slice: 3200, points: 2048, stripe: 2 << 20 }
     } else {
         Ckpt { nprocs: 16, slice: 3200, points: 256, stripe: 512 << 10 }
     };
+    c.nprocs = scale.nprocs_or(c.nprocs);
 
     let on = run_checkpoint(c, true);
     let off = run_checkpoint(c, false);
@@ -133,7 +134,7 @@ fn main() {
          ({} clients, {} aggregators, PFR + aligned realms)",
         STEPS,
         c.nprocs,
-        c.nprocs / 2
+        (c.nprocs / 2).max(1)
     );
     println!("# columns: step,pairs_cache_on,pairs_cache_off,ms_cache_on,ms_cache_off");
     for s in 0..STEPS as usize {

@@ -14,12 +14,26 @@ use flexio_pfs::{Pfs, PfsConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    let (nprocs, regions, agg_counts): (usize, u64, Vec<usize>) = if scale.paper {
-        (64, 4096, vec![8, 16, 24, 32])
-    } else {
-        (16, 1024, vec![2, 4, 6, 8])
-    };
-    let region_sizes: Vec<u64> = vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let (default_procs, regions): (usize, u64) =
+        if scale.paper { (64, 4096) } else { (16, 1024) };
+    let nprocs = scale.nprocs_or(default_procs);
+    // Aggregator counts keep the paper's fractions of the process count
+    // (1/8, 1/4, 3/8, 1/2) so `--nprocs 1024` sweeps the same shape.
+    let agg_counts: Vec<usize> = [nprocs / 8, nprocs / 4, 3 * nprocs / 8, nprocs / 2]
+        .iter()
+        .map(|&a| a.max(1))
+        .collect();
+    // `--sizes 64,1024` restricts the region-size sweep — the >64-rank
+    // addendum rows use this to keep large-world runs to representative
+    // points instead of the full ten-size panel.
+    let args: Vec<String> = std::env::args().collect();
+    let region_sizes: Vec<u64> = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]);
     let methods: [(&str, Engine, TypeStyle); 3] = [
         ("new+struct", Engine::Flexible, TypeStyle::Succinct),
         ("new+vect", Engine::Flexible, TypeStyle::Enumerated),

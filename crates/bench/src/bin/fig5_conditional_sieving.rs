@@ -23,12 +23,13 @@ fn main() {
         (16 << 10, vec![512, 3072, 5632, 8192, 10752, 13312, 15872, 16384]),
         (64 << 10, vec![2048, 12288, 22528, 32768, 43008, 53248, 63488, 65536]),
     ];
-    let (nprocs, file_bytes): (usize, u64) = if scale.paper {
+    let (default_procs, file_bytes): (usize, u64) = if scale.paper {
         (64, 1 << 30)
     } else {
         (8, 64 << 20)
     };
-    let aggs = nprocs / 2;
+    let nprocs = scale.nprocs_or(default_procs);
+    let aggs = (nprocs / 2).max(1);
     let methods: [(&str, IoMethod); 3] = [
         ("datasieve", IoMethod::DataSieve { buffer: 512 << 10 }),
         ("naive", IoMethod::Naive),

@@ -12,7 +12,7 @@ use flexio_pfs::{Pfs, PfsConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    let nprocs = if scale.paper { 64 } else { 8 };
+    let nprocs = scale.nprocs_or(if scale.paper { 64 } else { 8 });
     let extent = 64 << 10; // large extent: naive is the right method here
     let page = 4096u64;
     println!("# Fig. 5 page-alignment spikes — naive I/O, {nprocs} procs, {page} B pages");
@@ -36,7 +36,7 @@ fn main() {
             nprocs,
         };
         let hints = Hints {
-            cb_nodes: Some(nprocs / 2),
+            cb_nodes: Some((nprocs / 2).max(1)),
             io_method: IoMethod::Naive,
             ..Hints::default()
         };

@@ -27,7 +27,7 @@ fn time_one(spec: TimeStepSpec, pfr: bool, align: bool, stripe: u64) -> u64 {
         let hints = Hints {
             persistent_file_realms: pfr,
             fr_alignment: align.then_some(stripe),
-            cb_nodes: Some(spec.nprocs / 2),
+            cb_nodes: Some((spec.nprocs / 2).max(1)),
             // "data sieving is always on" in this experiment (§6.4).
             io_method: IoMethod::DataSieve { buffer: 512 << 10 },
             ..Hints::default()
@@ -55,6 +55,11 @@ fn main() {
         (vec![16, 32, 48, 64], 2048, 32, 2 << 20)
     } else {
         (vec![8, 16, 24, 32], 512, 8, 512 << 10)
+    };
+    // `--nprocs N` narrows the sweep to the one requested client count.
+    let client_counts: Vec<usize> = match scale.nprocs {
+        Some(n) => vec![n],
+        None => client_counts,
     };
     let combos: [(&str, bool, bool); 4] = [
         ("pfr/fr-align", true, true),

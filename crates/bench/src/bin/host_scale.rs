@@ -1,0 +1,171 @@
+//! Host-capacity scaling: ranks simulated per wall-clock second, threaded
+//! backend vs the event-loop backend (ISSUE 7 tentpole measurement).
+//!
+//! Unlike every fig/ablation harness, this one measures **wall time**, not
+//! virtual time: the workload is identical on both backends and both
+//! produce bit-identical virtual results, so the only thing that differs
+//! is how fast the host can turn the crank.
+//!
+//! The main table runs a fig4-style non-contiguous collective write,
+//! deliberately fine-grained (16 regions x 8 B per rank, 512 B collective
+//! buffer, dense alltoallw exchange) so that host-runtime overhead —
+//! thread spawn, park/wake, message dispatch — dominates wall time rather
+//! than simulated data volume, which both backends process identically.
+//! Weak scaling: per-rank work is constant, the world grows. A second
+//! section isolates the runtime-overhead floor with two microbenchmarks
+//! at 64 ranks: spawn/join (empty rank bodies) and a 64-step ping-pong
+//! (park-per-message chains).
+//!
+//! Flags: the shared `--best-of N` (best wall time of N, default 3) and
+//! `--nprocs N` (restrict the main table to one row), `--full` (extend
+//! the sweep to 4096 ranks and run threads up to 1024), `--check` (CI
+//! sanity: one 256-rank run per backend, asserts the event loop is
+//! faster, prints one line, exits).
+
+use flexio_bench::Scale;
+use flexio_core::{ExchangeMode, Hints, MpiFile};
+use flexio_hpio::{HpioSpec, TypeStyle};
+use flexio_pfs::{Pfs, PfsConfig};
+use flexio_sim::{run_on, Backend, CostModel};
+use flexio_types::Datatype;
+use std::time::{Duration, Instant};
+
+/// One fine-grained collective write at `nprocs` ranks on `backend`;
+/// returns host wall time for the whole world (spawn, open, write,
+/// close, join).
+fn collective_write(backend: Backend, nprocs: usize) -> Duration {
+    let pfs = Pfs::new(PfsConfig::default());
+    let spec = HpioSpec {
+        region_size: 8,
+        region_count: 16,
+        region_spacing: 128,
+        mem_noncontig: true,
+        file_noncontig: true,
+        nprocs,
+    };
+    let hints = Hints {
+        cb_nodes: Some((nprocs / 2).max(1)),
+        cb_buffer_size: 512,
+        exchange: ExchangeMode::Alltoallw,
+        ..Hints::default()
+    };
+    let t0 = Instant::now();
+    run_on(backend, nprocs, CostModel::default(), move |rank| {
+        let mut f = MpiFile::open(rank, &pfs, "host_scale", hints.clone()).unwrap();
+        let (disp, ftype) = spec.file_view(rank.rank(), TypeStyle::Succinct);
+        f.set_view(disp, &Datatype::bytes(1), &ftype).unwrap();
+        let buf = spec.make_buffer(rank.rank());
+        f.write_all(&buf, &spec.mem_type(), spec.mem_count()).unwrap();
+        f.close().unwrap();
+    });
+    t0.elapsed()
+}
+
+/// Spawn/join only: empty rank bodies. Isolates world setup/teardown —
+/// for the threaded backend that is one OS thread spawn per rank.
+fn spawn_join(backend: Backend, nprocs: usize) -> Duration {
+    let t0 = Instant::now();
+    run_on(backend, nprocs, CostModel::default(), |_rank| {});
+    t0.elapsed()
+}
+
+/// 64-step neighbour ping-pong: every receive parks (the partner's send
+/// happens strictly after), so this isolates the per-message
+/// park/deliver/wake cost with no I/O-path work at all.
+fn ping_pong(backend: Backend, nprocs: usize) -> Duration {
+    let t0 = Instant::now();
+    run_on(backend, nprocs, CostModel::default(), |rank| {
+        let p = rank.nprocs();
+        for step in 0..64u64 {
+            if rank.rank() % 2 == 0 {
+                rank.send((rank.rank() + 1) % p, step, &[1u8; 8]);
+                rank.recv((rank.rank() + 1) % p, step);
+            } else {
+                rank.recv((rank.rank() + p - 1) % p, step);
+                rank.send((rank.rank() + p - 1) % p, step, &[1u8; 8]);
+            }
+        }
+    });
+    t0.elapsed()
+}
+
+fn best_wall(n: usize, f: impl Fn() -> Duration) -> Duration {
+    (0..n.max(1)).map(|_| f()).min().unwrap()
+}
+
+fn ranks_per_sec(nprocs: usize, wall: Duration) -> f64 {
+    nprocs as f64 / wall.as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args();
+    let full = args.iter().any(|a| a == "--full");
+    let check = args.iter().any(|a| a == "--check");
+    assert!(
+        Backend::event_loop_supported(),
+        "host_scale needs the event-loop backend (x86_64 only)"
+    );
+
+    if check {
+        // CI sanity: at 256 ranks one host thread must beat 256 OS threads.
+        let el = collective_write(Backend::EventLoop, 256);
+        let th = collective_write(Backend::Threads, 256);
+        println!(
+            "check @256 ranks: event-loop {:.0} ms, threads {:.0} ms, speedup {:.1}x",
+            el.as_secs_f64() * 1e3,
+            th.as_secs_f64() * 1e3,
+            th.as_secs_f64() / el.as_secs_f64()
+        );
+        assert!(el < th, "event loop must beat the threaded backend at 256 ranks");
+        return;
+    }
+
+    let el_rows: Vec<usize> = match scale.nprocs {
+        Some(n) => vec![n],
+        None if full => vec![16, 64, 256, 1024, 4096],
+        None => vec![16, 64, 256, 1024],
+    };
+    let thread_cap = if full { 1024 } else { 256 };
+
+    println!("# Host-capacity scaling — ranks simulated per wall-second");
+    println!("# {}", scale.describe());
+    println!("# fine-grained fig4 write: 16 regions x 8 B per rank, cb 512 B,");
+    println!("# alltoallw exchange, cb_nodes = nprocs/2 (weak scaling)");
+    println!("# columns: nprocs,backend,wall_ms,ranks_per_wall_sec,speedup_vs_threads");
+    for &nprocs in &el_rows {
+        let el = best_wall(scale.best_of, || collective_write(Backend::EventLoop, nprocs));
+        let th = (nprocs <= thread_cap)
+            .then(|| best_wall(scale.best_of, || collective_write(Backend::Threads, nprocs)));
+        println!(
+            "{nprocs},event-loop,{:.1},{:.1},{}",
+            el.as_secs_f64() * 1e3,
+            ranks_per_sec(nprocs, el),
+            th.map_or("-".into(), |t| format!("{:.1}", t.as_secs_f64() / el.as_secs_f64())),
+        );
+        match th {
+            Some(t) => println!(
+                "{nprocs},threads,{:.1},{:.1},1.0",
+                t.as_secs_f64() * 1e3,
+                ranks_per_sec(nprocs, t),
+            ),
+            None => println!("{nprocs},threads,-,-,- (skipped: past thread cap {thread_cap})"),
+        }
+    }
+
+    println!("\n# Runtime-overhead floor @64 ranks (no I/O-path work)");
+    println!("# columns: microbench,el_ms,threads_ms,speedup");
+    for (name, f) in [
+        ("spawn-join", spawn_join as fn(Backend, usize) -> Duration),
+        ("ping-pong", ping_pong),
+    ] {
+        let el = best_wall(scale.best_of, || f(Backend::EventLoop, 64));
+        let th = best_wall(scale.best_of, || f(Backend::Threads, 64));
+        println!(
+            "{name},{:.2},{:.2},{:.1}",
+            el.as_secs_f64() * 1e3,
+            th.as_secs_f64() * 1e3,
+            th.as_secs_f64() / el.as_secs_f64()
+        );
+    }
+}

@@ -38,12 +38,16 @@ pub struct Scale {
     pub paper: bool,
     /// Repetitions to take the best of.
     pub best_of: usize,
+    /// Process-count override (`--nprocs N`). `None` = the scale's
+    /// default (64 at paper scale). The event-loop runtime makes worlds
+    /// far past 64 ranks practical; every harness honours this flag.
+    pub nprocs: Option<usize>,
 }
 
 impl Scale {
-    /// Read from `std::env::args`: `--paper` and `--repeat N` (with
-    /// `--best-of N` accepted as a synonym). Defaults to best-of-3 per
-    /// DESIGN.md.
+    /// Read from `std::env::args`: `--paper`, `--repeat N` (with
+    /// `--best-of N` accepted as a synonym), and `--nprocs N`. Defaults
+    /// to best-of-3 per DESIGN.md.
     pub fn from_args() -> Scale {
         Self::from_arg_list(&std::env::args().collect::<Vec<_>>())
     }
@@ -56,17 +60,33 @@ impl Scale {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(BEST_OF);
-        Scale { paper, best_of }
+        let nprocs = args
+            .iter()
+            .position(|a| a == "--nprocs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0);
+        Scale { paper, best_of, nprocs }
+    }
+
+    /// The process count to run at: the `--nprocs` override if given,
+    /// else the harness's default for this scale.
+    pub fn nprocs_or(&self, default: usize) -> usize {
+        self.nprocs.unwrap_or(default)
     }
 
     /// The standard header line every figure binary prints, recording the
     /// exact scale and repetition count a results file was generated with.
     pub fn describe(&self) -> String {
-        format!(
+        let mut s = format!(
             "scale: {} | best-of: {}",
             if self.paper { "paper" } else { "default" },
             self.best_of
-        )
+        );
+        if let Some(n) = self.nprocs {
+            s.push_str(&format!(" | nprocs: {n}"));
+        }
+        s
     }
 }
 
@@ -172,8 +192,9 @@ mod tests {
 
     #[test]
     fn scale_defaults() {
-        let s = Scale { paper: false, best_of: BEST_OF };
+        let s = Scale { paper: false, best_of: BEST_OF, nprocs: None };
         assert_eq!(s.best_of, 3);
+        assert_eq!(s.nprocs_or(64), 64);
     }
 
     fn args(list: &[&str]) -> Vec<String> {
@@ -209,5 +230,18 @@ mod tests {
         let s = Scale::from_arg_list(&args(&["bin", "--repeat", "lots"]));
         assert_eq!(s.best_of, BEST_OF);
         assert_eq!(s.describe(), "scale: default | best-of: 3");
+    }
+
+    #[test]
+    fn scale_parses_nprocs_override() {
+        let s = Scale::from_arg_list(&args(&["bin"]));
+        assert_eq!(s.nprocs, None);
+        let s = Scale::from_arg_list(&args(&["bin", "--paper", "--nprocs", "1024"]));
+        assert_eq!(s.nprocs, Some(1024));
+        assert_eq!(s.nprocs_or(64), 1024);
+        assert_eq!(s.describe(), "scale: paper | best-of: 3 | nprocs: 1024");
+        // Malformed or zero counts fall back to the harness default.
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--nprocs", "many"])).nprocs, None);
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--nprocs", "0"])).nprocs, None);
     }
 }

@@ -1,7 +1,12 @@
 //! # flexio-sim — an in-process message-passing runtime with virtual time
 //!
-//! Substitute for the paper's MPICH2-over-TCP substrate. Ranks run as OS
-//! threads; each owns a virtual clock in nanoseconds. Point-to-point and
+//! Substitute for the paper's MPICH2-over-TCP substrate. Each rank owns a
+//! virtual clock in nanoseconds; by default all ranks of a world run as
+//! cooperatively-scheduled fibers on **one host thread**, resumed lowest
+//! virtual clock first (deterministic by construction, and cheap enough
+//! to drive tens of thousands of ranks per process). The original
+//! one-OS-thread-per-rank runtime remains available behind
+//! `FLEXIO_SIM_THREADS=1` (see [`Backend`]). Point-to-point and
 //! collective operations charge an alpha/beta network model; higher layers
 //! charge computation explicitly (offset/length-pair processing, buffer
 //! copies). The paper's performance deltas are driven by *counts* — bytes
@@ -23,15 +28,60 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+#[cfg(target_arch = "x86_64")]
+mod fiber;
 pub mod prng;
 pub mod prop;
 pub mod rank;
+#[cfg(target_arch = "x86_64")]
+mod sched;
 pub mod world;
+
+/// Fallback for architectures without the fiber layer: the event loop is
+/// never active, so `World::take` always uses the threaded path.
+#[cfg(not(target_arch = "x86_64"))]
+mod sched {
+    use crate::rank::Rank;
+    use crate::world::{Msg, World};
+    use std::sync::Arc;
+
+    pub(crate) fn event_loop_active_for(_world: &World) -> bool {
+        false
+    }
+
+    pub(crate) fn park_for_recv(
+        _w: &World,
+        _dst: usize,
+        _src: usize,
+        _tag: u64,
+        _now: u64,
+    ) -> Option<Msg> {
+        unreachable!("event-loop backend unsupported on this architecture")
+    }
+
+    pub(crate) fn try_handoff(
+        _w: &World,
+        _dst: usize,
+        _src: usize,
+        _tag: u64,
+        msg: Msg,
+    ) -> Option<Msg> {
+        Some(msg)
+    }
+
+    pub(crate) fn run_event_loop<R, F>(_world: Arc<World>, _f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
+        unreachable!("event-loop backend unsupported on this architecture")
+    }
+}
 
 pub use cost::CostModel;
 pub use prng::XorShift64Star;
 pub use rank::{OverlapWindow, Phase, Rank, RecvReq, Stats};
-pub use world::{run, World};
+pub use world::{run, run_on, Backend, World};
 
 #[cfg(all(test, feature = "proptests"))]
 mod proptests {

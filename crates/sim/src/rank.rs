@@ -1,6 +1,7 @@
 //! Per-rank handle: point-to-point messaging, collectives, virtual clock.
 //!
-//! Each rank runs on its own OS thread and owns a virtual clock (ns).
+//! Each rank owns a virtual clock (ns) and runs either as a fiber of the
+//! event-loop backend or on its own OS thread (see [`crate::Backend`]).
 //! Message timing follows an alpha/beta model; computation is charged
 //! explicitly by the layers above (offset/length-pair processing, buffer
 //! copies, file-system service times). A receive completes at
@@ -28,8 +29,8 @@ pub enum Phase {
     Io,
 }
 
-/// Per-rank counters, all in the rank's own thread.
-#[derive(Debug, Default, Clone)]
+/// Per-rank counters, owned by the rank itself (no sharing).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Stats {
     /// Messages sent (point-to-point, including collective internals).
     pub msgs_sent: u64,
@@ -345,7 +346,7 @@ impl Rank {
     }
 
     fn recv_tagged(&self, src: usize, tag: u64) -> Vec<u8> {
-        let m = self.world.take(self.rank, src, tag);
+        let m = self.world.take(self.rank, src, tag, self.now());
         let before = self.now();
         self.advance_to(m.avail_at);
         self.advance(self.cost().recv_overhead_ns);
@@ -446,10 +447,10 @@ impl Rank {
         let left = (self.rank + p - 1) % p;
         for step in 0..p - 1 {
             let tag = self.next_coll_tag(2, step as u64);
-            // Send the block received in the previous step (or own block).
+            // Send the block received in the previous step (or own block);
+            // `send_tagged` copies into the message, no local clone needed.
             let send_idx = (self.rank + p - step) % p;
-            let payload = out[send_idx].clone();
-            self.send_tagged(right, tag, &payload);
+            self.send_tagged(right, tag, &out[send_idx]);
             let recv_idx = (self.rank + p - step - 1) % p;
             out[recv_idx] = self.recv_tagged(left, tag);
         }

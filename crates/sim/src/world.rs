@@ -1,8 +1,45 @@
-//! The shared world: mailboxes and rank spawning.
+//! The shared world: mailboxes, backend selection, rank dispatch.
 
 use crate::cost::CostModel;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Which rank runtime drives a world's ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One host thread drives every rank as a cooperatively-scheduled
+    /// fiber over virtual time, lowest clock first (deterministic by
+    /// construction; supports thousands of ranks per process). The
+    /// default wherever supported.
+    EventLoop,
+    /// One OS thread per rank, blocking on `Condvar` mailboxes — the
+    /// original runtime, kept as a transitional escape hatch
+    /// (`FLEXIO_SIM_THREADS=1`) and as the fallback on architectures
+    /// without fiber support.
+    Threads,
+}
+
+impl Backend {
+    /// The backend `run` uses: the event loop, unless `FLEXIO_SIM_THREADS`
+    /// is set to `1`/`true` or the architecture lacks fiber support.
+    pub fn from_env() -> Backend {
+        if !Backend::event_loop_supported() {
+            return Backend::Threads;
+        }
+        match std::env::var("FLEXIO_SIM_THREADS") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Backend::Threads,
+            _ => Backend::EventLoop,
+        }
+    }
+
+    /// Whether the event-loop backend is available on this build target
+    /// (the fiber layer is x86_64-only).
+    pub fn event_loop_supported() -> bool {
+        cfg!(target_arch = "x86_64")
+    }
+}
 
 /// A message in flight: payload plus the virtual time it becomes available
 /// at the receiver.
@@ -12,9 +49,45 @@ pub(crate) struct Msg {
     pub avail_at: u64,
 }
 
+/// Multiply-rotate hasher for the mailbox queue map. The keys are small
+/// fixed-size `(src, tag)` pairs from trusted (in-process) senders, and
+/// every message pays two to three lookups — SipHash was a measurable
+/// slice of the per-message cost at host_scale rank counts.
+#[derive(Default)]
+pub(crate) struct TagHasher(u64);
+
+impl Hasher for TagHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci-style multiply spreads entropy into the high bits;
+        // the rotate brings it back down for the table index.
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(26);
+    }
+}
+
+type QueueMap = HashMap<(usize, u64), VecDeque<Msg>, BuildHasherDefault<TagHasher>>;
+
 #[derive(Default)]
 pub(crate) struct MailboxInner {
-    pub queues: HashMap<(usize, u64), VecDeque<Msg>>,
+    pub queues: QueueMap,
+    /// The `(src, tag)` queue the owning rank is blocked on, if any —
+    /// lets `deliver` wake exactly the receiver whose queue it filled
+    /// (`notify_one`) instead of herding every sleeper with `notify_all`.
+    /// Threaded backend only; the event loop tracks parked ranks itself.
+    pub waiting_for: Option<(usize, u64)>,
 }
 
 /// One rank's incoming-message store.
@@ -58,34 +131,109 @@ impl World {
     }
 
     pub(crate) fn deliver(&self, dst: usize, src: usize, tag: u64, msg: Msg) {
+        // Event-loop fast path: a receiver already parked on exactly
+        // `(src, tag)` gets the message handed to it directly — on the
+        // single host thread its queue is provably empty, so FIFO order
+        // holds and the map and lock are skipped entirely.
+        let Some(msg) = crate::sched::try_handoff(self, dst, src, tag, msg) else {
+            return;
+        };
         let mb = &self.mailboxes[dst];
         let mut inner = mb.inner.lock().unwrap();
         inner.queues.entry((src, tag)).or_default().push_back(msg);
-        mb.cv.notify_all();
+        if inner.waiting_for == Some((src, tag)) {
+            // Threaded backend: wake exactly the rank whose queue this
+            // filled. (Each mailbox has one owner, so one sleeper.)
+            mb.cv.notify_one();
+        }
     }
 
-    pub(crate) fn take(&self, dst: usize, src: usize, tag: u64) -> Msg {
-        let mb = &self.mailboxes[dst];
-        let mut inner = mb.inner.lock().unwrap();
-        loop {
-            if let Some(q) = inner.queues.get_mut(&(src, tag)) {
-                if let Some(m) = q.pop_front() {
+    /// Pop the next message from `(src, tag)` for rank `dst`, parking the
+    /// caller until one arrives. `now` is the receiver's virtual clock —
+    /// its wake-up priority under the event-loop backend.
+    pub(crate) fn take(&self, dst: usize, src: usize, tag: u64, now: u64) -> Msg {
+        if crate::sched::event_loop_active_for(self) {
+            loop {
+                if let Some(m) = Self::pop_queued(&self.mailboxes[dst], src, tag) {
+                    return m;
+                }
+                // Parking resumes with the message in hand when the
+                // delivery matched (the common case); a `None` resume
+                // re-checks the queue.
+                if let Some(m) = crate::sched::park_for_recv(self, dst, src, tag, now) {
                     return m;
                 }
             }
+        }
+        let mb = &self.mailboxes[dst];
+        let mut inner = mb.inner.lock().unwrap();
+        loop {
+            if let Entry::Occupied(mut e) = inner.queues.entry((src, tag)) {
+                // The queue exists iff it has a message (drained queues
+                // are removed so unique collective tags can't grow the
+                // map without bound).
+                let m = e.get_mut().pop_front().expect("empty queue left in mailbox map");
+                if e.get().is_empty() {
+                    e.remove();
+                }
+                inner.waiting_for = None;
+                return m;
+            }
+            // Publish what we're blocked on *before* releasing the lock
+            // (cv.wait is atomic), so a concurrent deliver can't miss us.
+            inner.waiting_for = Some((src, tag));
             inner = mb.cv.wait(inner).unwrap();
         }
+    }
+
+    /// Pop the head of `(src, tag)` if present, removing the queue when
+    /// that drains it.
+    fn pop_queued(mb: &Mailbox, src: usize, tag: u64) -> Option<Msg> {
+        let mut inner = mb.inner.lock().unwrap();
+        if let Entry::Occupied(mut e) = inner.queues.entry((src, tag)) {
+            let m = e.get_mut().pop_front().expect("empty queue left in mailbox map");
+            if e.get().is_empty() {
+                e.remove();
+            }
+            return Some(m);
+        }
+        None
     }
 }
 
 /// Run `f` on every rank of a fresh world and return the per-rank results
-/// in rank order. Panics in any rank propagate.
+/// in rank order. Panics in any rank propagate. Uses
+/// [`Backend::from_env`]: the event loop unless `FLEXIO_SIM_THREADS=1`.
 pub fn run<R, F>(nprocs: usize, cost: CostModel, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&crate::rank::Rank) -> R + Sync,
 {
+    run_on(Backend::from_env(), nprocs, cost, f)
+}
+
+/// [`run`] on an explicitly chosen backend. `Backend::EventLoop` falls
+/// back to threads where unsupported (see [`Backend::event_loop_supported`]).
+pub fn run_on<R, F>(backend: Backend, nprocs: usize, cost: CostModel, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&crate::rank::Rank) -> R + Sync,
+{
     let world = World::new(nprocs, cost);
+    match backend {
+        Backend::EventLoop if Backend::event_loop_supported() => {
+            crate::sched::run_event_loop(world, f)
+        }
+        _ => run_threaded(world, f),
+    }
+}
+
+fn run_threaded<R, F>(world: Arc<World>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&crate::rank::Rank) -> R + Sync,
+{
+    let nprocs = world.nprocs;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..nprocs)
             .map(|r| {

@@ -136,32 +136,60 @@ pub fn flatten(dt: &Datatype) -> FlatType {
     FlatType::from_segs(segs, lb, (ub - lb).max(0) as u64)
 }
 
-/// Cap on cached flattenings per thread; reaching it clears the cache
-/// rather than evicting, keeping the common steady-state (a handful of
-/// types reused across many collective calls) cheap and the worst case
+/// Cap on cached flattenings per scope; reaching it clears that scope's
+/// cache rather than evicting, keeping the common steady-state (a handful
+/// of types reused across many collective calls) cheap and the worst case
 /// bounded.
 const FLATTEN_CACHE_CAP: usize = 256;
 
 std::thread_local! {
-    static FLATTEN_CACHE: std::cell::RefCell<std::collections::HashMap<Datatype, std::sync::Arc<FlatType>>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+    static FLATTEN_SCOPE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static FLATTEN_CACHE: std::cell::RefCell<
+        std::collections::HashMap<u64, std::collections::HashMap<Datatype, std::sync::Arc<FlatType>>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Select the flatten-cache scope for the current thread.
+///
+/// The cache behind [`flatten_shared`] is partitioned into independent
+/// scopes so hit/miss behaviour — and therefore the virtual-time charges
+/// layered on top — stays per simulated rank regardless of how ranks map
+/// onto host threads. The threaded rank runtime gets this for free (one
+/// fresh thread per rank); the event-loop runtime multiplexes every rank
+/// onto one host thread and calls this with the rank id on each context
+/// switch. Plain (non-simulated) callers never need to touch it: they use
+/// the default scope 0.
+pub fn set_flatten_scope(scope: u64) {
+    FLATTEN_SCOPE.with(|s| s.set(scope));
+}
+
+/// Drop every scope's cached flattenings on the current thread.
+///
+/// The event-loop rank runtime calls this when a world starts (and again
+/// when it finishes), reproducing the cold cache a fresh rank thread
+/// would have seen — without it, a second `run` on the same host thread
+/// would observe warm caches the threaded runtime never produces.
+pub fn reset_flatten_cache() {
+    FLATTEN_CACHE.with(|c| c.borrow_mut().clear());
 }
 
 /// Content-addressed flatten cache: like [`flatten`], but memoized per
-/// thread and returning a shared `Arc<FlatType>` so repeated
+/// (thread, scope) and returning a shared `Arc<FlatType>` so repeated
 /// `set_view`/`write_all` calls with an equal `Datatype` reuse one
 /// flattening instead of re-walking the type tree and cloning segment
 /// vectors (ROMIO keeps a flattened-datatype cache for the same reason).
 ///
 /// The cache is keyed by structural equality, so two independently built
-/// but identical trees hit. It is thread-local: simulated ranks run on
-/// their own threads, which keeps hit/miss behaviour — and therefore the
-/// virtual-time charges layered on top — deterministic per rank.
+/// but identical trees hit. Each scope (see [`set_flatten_scope`] — one
+/// per simulated rank) has its own map and its own capacity, so hit/miss
+/// counters are deterministic per rank under both rank runtimes.
 ///
 /// Returns the shared flattening and whether it was a cache hit.
 pub fn flatten_shared(dt: &Datatype) -> (std::sync::Arc<FlatType>, bool) {
+    let scope = FLATTEN_SCOPE.with(|s| s.get());
     FLATTEN_CACHE.with(|c| {
-        let mut cache = c.borrow_mut();
+        let mut scopes = c.borrow_mut();
+        let cache = scopes.entry(scope).or_default();
         if let Some(f) = cache.get(dt) {
             return (std::sync::Arc::clone(f), true);
         }

@@ -56,6 +56,15 @@ if [ "$THOROUGH" = 1 ]; then
     FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
     PROPTEST_CASES="${PROPTEST_CASES:-512}" \
     cargo test -q --release --offline --test engine_pipeline_parity --test fault_injection
+
+  # Scale leg: the 4096-rank collective write/read smoke (event-loop
+  # backend, byte-identity + phase-sum invariants) and the host_scale
+  # sanity check (one host thread must beat 256 OS threads).
+  echo "== 4096-rank scale smoke (tests/scale_smoke.rs, ignored set) =="
+  cargo test -q --release --offline --test scale_smoke -- --ignored
+
+  echo "== host_scale sanity (--check) =="
+  cargo run --release --offline -p flexio-bench --bin host_scale -- --check
 fi
 
 echo "== tier-1 verification passed =="

@@ -1,0 +1,259 @@
+//! Backend determinism regression suite (ISSUE 7 satellite).
+//!
+//! The event-loop rank runtime must be a drop-in replacement for the
+//! threaded one:
+//!
+//! * **Determinism by construction** — two event-loop runs of the same
+//!   workload are bit-identical in everything: virtual clocks, the full
+//!   `Stats` struct (including `bytes_copied`, `overlap_saved_ns`, phase
+//!   buckets), read-back buffers, and the bytes on the PFS.
+//! * **Thread parity, order-insensitive workloads** — where the threaded
+//!   backend is itself deterministic (pure collectives with no file
+//!   system, or a single aggregator owning the PFS), the two backends
+//!   agree bit for bit on clocks and full `Stats`.
+//! * **Thread parity, racy workloads** — with several aggregators racing
+//!   on a shared OST clock the threaded backend's completion times depend
+//!   on OS scheduling (even at zero service cost: completion is
+//!   `max(ost_clock, arrival)`; see DESIGN.md "Rank runtime"), so there
+//!   the comparison is on what threads do pin down: file images,
+//!   read-back bytes, and the order-insensitive work counters.
+//! * Phase buckets always sum to each rank's elapsed clock.
+
+use flexio::core::{Engine, ExchangeMode, Hints, MpiFile};
+use flexio::pfs::{Pfs, PfsConfig, PfsCostModel};
+use flexio::sim::{run_on, Backend, CostModel, Stats, XorShift64Star};
+use flexio::types::Datatype;
+use std::sync::Arc;
+
+const BLOCK: u64 = 64;
+
+fn pfs_with(cost: PfsCostModel) -> Arc<Pfs> {
+    Pfs::new(PfsConfig {
+        n_osts: 4,
+        stripe_size: 1024,
+        page_size: 64,
+        locking: false,
+        lock_expansion: false,
+        client_cache: false,
+        cost,
+    })
+}
+
+fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
+    let h = pfs.open(path, usize::MAX - 1);
+    let mut out = vec![0u8; h.size() as usize];
+    h.read(0, 0, &mut out).unwrap();
+    out
+}
+
+fn step_data(rank: usize, step: u64, len: usize) -> Vec<u8> {
+    let mut rng = XorShift64Star::new((rank as u64) << 32 | (step + 1));
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Per-rank observation: (final clock, full stats, read-back bytes).
+type RankTrace = (u64, Stats, Vec<u8>);
+
+/// One backend run of the parity workload: interleaved-block collective
+/// writes then a collective read-back. Returns per-rank traces plus the
+/// final file image.
+#[allow(clippy::too_many_arguments)]
+fn parity_run(
+    backend: Backend,
+    cost: PfsCostModel,
+    engine: Engine,
+    nprocs: usize,
+    blocks: u64,
+    steps: u64,
+    cb_nodes: usize,
+) -> (Vec<RankTrace>, Vec<u8>) {
+    let pfs = pfs_with(cost);
+    let pfs2 = Arc::clone(&pfs);
+    let out = run_on(backend, nprocs, CostModel::default(), move |rank| {
+        let hints = Hints {
+            engine,
+            cb_nodes: Some(cb_nodes),
+            cb_buffer_size: 256, // several cycles per call
+            ..Hints::default()
+        };
+        let mut f = MpiFile::open(rank, &pfs2, "parity", hints).unwrap();
+        let block = Datatype::bytes(BLOCK);
+        let ftype = Datatype::resized(0, nprocs as u64 * BLOCK, block);
+        f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &ftype).unwrap();
+        let len = (blocks * BLOCK) as usize;
+        for s in 0..steps {
+            let data = step_data(rank.rank(), s, len);
+            f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
+        }
+        let mut back = vec![0u8; len];
+        f.read_all(&mut back, &Datatype::bytes(len as u64), 1).unwrap();
+        f.close().unwrap();
+        (rank.now(), rank.stats(), back)
+    });
+    let image = read_file(&pfs, "parity");
+    (out, image)
+}
+
+/// The `Stats` fields that are a pure function of the workload even when
+/// OS scheduling perturbs timed-PFS service order: work done, not time
+/// taken.
+fn work_counters(s: &Stats) -> [u64; 10] {
+    [
+        s.msgs_sent,
+        s.bytes_sent,
+        s.pairs_processed,
+        s.memcpy_bytes,
+        s.bytes_copied,
+        s.schedule_cache_hits,
+        s.schedule_cache_misses,
+        s.flatten_cache_hits,
+        s.flatten_cache_misses,
+        s.io_retries,
+    ]
+}
+
+fn assert_phase_sums(out: &[(u64, Stats, Vec<u8>)], label: &str) {
+    for (r, (now, s, _)) in out.iter().enumerate() {
+        assert_eq!(
+            s.phase_ns.iter().sum::<u64>(),
+            *now,
+            "{label}: rank {r} phase buckets must sum to its clock"
+        );
+    }
+}
+
+#[test]
+fn pure_collectives_bit_identical_across_backends() {
+    if !Backend::event_loop_supported() {
+        return;
+    }
+    // No file system at all: the network model is order-insensitive (each
+    // receive completes at max(local, avail_at) + overhead over FIFO
+    // queues), so the threaded backend is fully deterministic here and
+    // clocks + full Stats must match bit for bit.
+    let workload = |r: &flexio::sim::Rank| {
+        let p = r.nprocs();
+        r.send((r.rank() + 1) % p, 1, &[r.rank() as u8; 48]);
+        let got = r.recv((r.rank() + p - 1) % p, 1);
+        r.charge_pairs(got.len() as u64);
+        r.barrier();
+        let seed = r.bcast(0, if r.rank() == 0 { vec![9; 8] } else { vec![] });
+        let all = r.allgatherv(&[r.rank() as u8, seed[0]]);
+        let blocks: Vec<Vec<u8>> = (0..p).map(|d| vec![(r.rank() + d) as u8; 7]).collect();
+        let x = r.alltoallv(blocks);
+        let g = r.gatherv(0, &x[(r.rank() + 1) % p]);
+        let s = r.scatterv(0, if r.rank() == 0 { g } else { Vec::new() });
+        let mut img = s;
+        img.extend(all.into_iter().flatten());
+        (r.now(), r.stats(), img)
+    };
+    for p in [2usize, 16, 64] {
+        let ev = run_on(Backend::EventLoop, p, CostModel::default(), workload);
+        let th = run_on(Backend::Threads, p, CostModel::default(), workload);
+        assert_eq!(ev, th, "p={p}: clocks/stats/bytes diverge across backends");
+    }
+}
+
+#[test]
+fn event_loop_bit_identical_to_threads_on_order_insensitive_workloads() {
+    if !Backend::event_loop_supported() {
+        return;
+    }
+    // A single aggregator owns the PFS, so OST service order is its own
+    // program order and the threaded backend is deterministic — full
+    // bit-identity must hold for both cost models. (With several
+    // aggregators racing a shared OST clock, even zero service time is
+    // order-sensitive: completion is max(ost_clock, arrival).)
+    let cases = [(PfsCostModel::free(), 8usize), (PfsCostModel::default(), 6)];
+    let cb = 1usize;
+    for engine in [Engine::Flexible, Engine::Romio] {
+        for (cost, nprocs) in cases {
+            let (ev, ev_img) = parity_run(Backend::EventLoop, cost, engine, nprocs, 16, 3, cb);
+            let (th, th_img) = parity_run(Backend::Threads, cost, engine, nprocs, 16, 3, cb);
+            assert_eq!(ev_img, th_img, "{engine:?} cb={cb}: file images diverge");
+            for r in 0..nprocs {
+                assert_eq!(
+                    ev[r], th[r],
+                    "{engine:?} cb={cb}: rank {r} (clock, full Stats, read-back) diverge"
+                );
+            }
+            assert_phase_sums(&ev, "event loop");
+            assert_phase_sums(&th, "threads");
+        }
+    }
+}
+
+#[test]
+fn event_loop_deterministic_at_paper_scale() {
+    if !Backend::event_loop_supported() {
+        return;
+    }
+    // Timed PFS, several racing aggregators, both engines, two exchange
+    // modes folded in via defaults — the configuration where the threaded
+    // backend is *not* clock-deterministic. The event loop must be.
+    for engine in [Engine::Flexible, Engine::Romio] {
+        let (a, a_img) =
+            parity_run(Backend::EventLoop, PfsCostModel::default(), engine, 16, 24, 3, 4);
+        let (b, b_img) =
+            parity_run(Backend::EventLoop, PfsCostModel::default(), engine, 16, 24, 3, 4);
+        assert_eq!(a_img, b_img, "{engine:?}: event-loop file images diverge across runs");
+        for r in 0..16 {
+            assert_eq!(
+                a[r], b[r],
+                "{engine:?}: rank {r} not bit-identical across event-loop runs"
+            );
+        }
+        assert_phase_sums(&a, "event loop");
+
+        // Threads pin down the bytes and the work, not the clocks.
+        let (th, th_img) =
+            parity_run(Backend::Threads, PfsCostModel::default(), engine, 16, 24, 3, 4);
+        assert_eq!(a_img, th_img, "{engine:?}: threaded file image diverges");
+        for r in 0..16 {
+            assert_eq!(a[r].2, th[r].2, "{engine:?}: rank {r} read-back diverges");
+            assert_eq!(
+                work_counters(&a[r].1),
+                work_counters(&th[r].1),
+                "{engine:?}: rank {r} work counters diverge"
+            );
+        }
+        assert_phase_sums(&th, "threads");
+    }
+}
+
+#[test]
+fn exchange_modes_identical_across_backends() {
+    if !Backend::event_loop_supported() {
+        return;
+    }
+    // Both exchange flavours, single aggregator: full bit-identity.
+    for exchange in [ExchangeMode::Nonblocking, ExchangeMode::Alltoallw] {
+        let run_one = |backend: Backend| {
+            let pfs = pfs_with(PfsCostModel::free());
+            let pfs2 = Arc::clone(&pfs);
+            let out = run_on(backend, 8, CostModel::default(), move |rank| {
+                let hints = Hints {
+                    exchange,
+                    cb_nodes: Some(1),
+                    cb_buffer_size: 256,
+                    ..Hints::default()
+                };
+                let mut f = MpiFile::open(rank, &pfs2, "xmode", hints).unwrap();
+                let block = Datatype::bytes(BLOCK);
+                let ftype = Datatype::resized(0, 8 * BLOCK, block);
+                f.set_view(rank.rank() as u64 * BLOCK, &Datatype::bytes(1), &ftype).unwrap();
+                let data = step_data(rank.rank(), 0, (12 * BLOCK) as usize);
+                f.write_all(&data, &Datatype::bytes(data.len() as u64), 1).unwrap();
+                f.close().unwrap();
+                (rank.now(), rank.stats())
+            });
+            (out, read_file(&pfs, "xmode"))
+        };
+        let (ev, ev_img) = run_one(Backend::EventLoop);
+        let (th, th_img) = run_one(Backend::Threads);
+        assert_eq!(ev_img, th_img, "{exchange:?}: images diverge");
+        assert_eq!(ev, th, "{exchange:?}: clocks/stats diverge");
+    }
+}
