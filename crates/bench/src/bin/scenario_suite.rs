@@ -1,0 +1,115 @@
+//! Scenario suite — the five workload families at bench scale.
+//!
+//! Runs one deterministic member of each `flexio-workload` scenario
+//! family (checkpoint N-to-1, restart with shifted rank counts, many-task
+//! independent regions, read-heavy scans, mixed subarray views) through
+//! both engines and reports aggregate bandwidth: total data bytes moved
+//! divided by the summed virtual time of the slowest rank of every phase.
+//! The same typed [`WorkloadSpec`]s drive `tests/workload_fuzz.rs`, so a
+//! number here is a number the differential fuzzer has already
+//! cross-checked for correctness.
+//!
+//! Flags: the shared `--paper` / `--nprocs N` / `--engine {romio,
+//! flexible,both}` set, plus `--scenario <name>` to run a single family
+//! (names as in [`ScenarioKind::name`]).
+//!
+//! Paper scale (`--paper`): 64-rank worlds, MiB-scale tiles, 8 OSTs with
+//! 1 MiB stripes. Default scale: 8-rank worlds, KiB-scale tiles, finishes
+//! in well under a second.
+
+use flexio_bench::{engines_from_args, mbps, print_table, Scale};
+use flexio_workload::{
+    check_invariants, checkpoint_spec, many_task_spec, mixed_subarray_spec, read_scan_spec,
+    restart_spec, run_spec, PfsShape, PhaseOp, RankPlan, RunConfig, ScenarioKind, WorkloadSpec,
+};
+
+/// The deterministic suite member of every family at the given scale.
+fn suite(scale: &Scale) -> Vec<WorkloadSpec> {
+    let n = scale.nprocs_or(if scale.paper { 64 } else { 8 });
+    let readers = (n * 3 / 4).max(1); // shifted rank count for the read side
+    let mut specs = if scale.paper {
+        vec![
+            checkpoint_spec(0xC0FFEE, n, 256 << 10, 4, 5),
+            restart_spec(0xBEEF, n, readers, 64 << 20, 1, 1 << 20),
+            many_task_spec(0xDAB, n, 1 << 20, 4, 64 << 10, 3),
+            read_scan_spec(0x5CA4, n, readers, 256 << 10, 4, 4),
+            mixed_subarray_spec(0x2D, 8, n / 8, 512, 2048, readers),
+        ]
+    } else {
+        vec![
+            checkpoint_spec(0xC0FFEE, n, 16 << 10, 4, 3),
+            restart_spec(0xBEEF, n, readers, 1 << 20, 1, 64 << 10),
+            many_task_spec(0xDAB, n, 64 << 10, 4, 4 << 10, 2),
+            read_scan_spec(0x5CA4, n, readers, 16 << 10, 4, 3),
+            mixed_subarray_spec(0x2D, 2, n / 2, 128, 512, readers),
+        ]
+    };
+    // Bench-scale knobs: the builders default to the fuzzer's tiny
+    // geometry; here the PFS and collective buffer match the figure
+    // harnesses.
+    for s in &mut specs {
+        s.pfs = if scale.paper {
+            PfsShape { n_osts: 8, stripe: 1 << 20, page: 4096 }
+        } else {
+            PfsShape { n_osts: 4, stripe: 64 << 10, page: 4096 }
+        };
+        s.cb = if scale.paper { 4 << 20 } else { 256 << 10 };
+        s.pfr = true;
+    }
+    specs
+}
+
+/// Data bytes a spec moves in each direction: `(written, read)`.
+fn moved_bytes(spec: &WorkloadSpec) -> (u64, u64) {
+    let mut w = 0;
+    let mut r = 0;
+    for p in &spec.phases {
+        let per_call: u64 = p.plans.iter().map(RankPlan::total_bytes).sum();
+        match p.op {
+            PhaseOp::Write => w += p.steps * per_call,
+            PhaseOp::Read => r += per_call,
+        }
+    }
+    (w, r)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let engines = engines_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            ScenarioKind::from_name(s).unwrap_or_else(|| {
+                let names: Vec<_> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+                panic!("--scenario must be one of {names:?}, got {s:?}")
+            })
+        });
+
+    println!("# scenario_suite | {}", scale.describe());
+    println!("scenario,engine,write_bytes,read_bytes,virtual_ns,mbps");
+
+    let mut xs = Vec::new();
+    let mut series: Vec<(String, Vec<f64>)> =
+        engines.iter().map(|(name, _)| (format!("{name} MB/s"), Vec::new())).collect();
+    for spec in suite(&scale) {
+        if filter.is_some_and(|k| k != spec.kind) {
+            continue;
+        }
+        let (wb, rb) = moved_bytes(&spec);
+        xs.push(spec.kind.name().to_string());
+        for ((name, engine), (_, col)) in engines.iter().zip(&mut series) {
+            let out =
+                run_spec(&spec, RunConfig { engine: *engine, zero_copy: true, faulted: false });
+            check_invariants(&out, name);
+            let ns: u64 =
+                out.phases.iter().map(|p| p.clocks.iter().copied().max().unwrap_or(0)).sum();
+            let bw = mbps(wb + rb, ns);
+            println!("{},{name},{wb},{rb},{ns},{bw:.2}", spec.kind.name());
+            col.push(bw);
+        }
+    }
+    print_table("Scenario suite: aggregate bandwidth", "scenario", &xs, &series);
+}

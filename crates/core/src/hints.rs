@@ -277,6 +277,29 @@ mod tests {
     }
 
     #[test]
+    fn validate_for_rejections_are_descriptive_bad_hints() {
+        use crate::error::IoError;
+        // Oversized cb_nodes names the actual constraint.
+        match (Hints { cb_nodes: Some(5), ..Hints::default() }).validate_for(4) {
+            Err(IoError::BadHints(msg)) => assert!(msg.contains("world size"), "got {msg:?}"),
+            other => panic!("expected BadHints, got {other:?}"),
+        }
+        // World-free checks run first, so a doubly-bad hint set reports
+        // the world-independent problem.
+        match (Hints { cb_buffer_size: 0, cb_nodes: Some(100), ..Hints::default() }).validate_for(1)
+        {
+            Err(IoError::BadHints(msg)) => assert!(msg.contains("cb_buffer_size"), "got {msg:?}"),
+            other => panic!("expected BadHints, got {other:?}"),
+        }
+        match (Hints { fr_alignment: Some(0), ..Hints::default() }).validate_for(2) {
+            Err(IoError::BadHints(msg)) => assert!(msg.contains("fr_alignment"), "got {msg:?}"),
+            other => panic!("expected BadHints, got {other:?}"),
+        }
+        // The boundary case passes: exactly one aggregator per rank.
+        Hints { cb_nodes: Some(4), ..Hints::default() }.validate_for(4).unwrap();
+    }
+
+    #[test]
     fn aggregator_ranks_spread() {
         assert_eq!(aggregator_ranks(4, 8), vec![0, 2, 4, 6]);
         assert_eq!(aggregator_ranks(8, 8), (0..8).collect::<Vec<_>>());

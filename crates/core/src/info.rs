@@ -328,4 +328,55 @@ mod tests {
         assert!(hints_from_info(Hints::default(), &[("cb_buffer_size", "0")]).is_err());
         assert!(hints_from_info(Hints::default(), &[("striping_unit", "0")]).is_err());
     }
+
+    #[test]
+    fn malformed_numbers_are_errors_not_panics() {
+        // Every numeric key turns a parse failure into a descriptive
+        // BadHints error: non-numeric, negative, and unit-suffixed forms.
+        for (key, val) in [
+            ("cb_buffer_size", "big"),
+            ("cb_buffer_size", "-4"),
+            ("cb_buffer_size", "64k"),
+            ("cb_nodes", "-1"),
+            ("cb_nodes", "3.5"),
+            ("ind_wr_buffer_size", "1e6"),
+            ("ind_rd_buffer_size", ""),
+            ("ds_extent_threshold", "16K"),
+            ("striping_unit", "2MB"),
+            ("flexio_io_retries", "∞"),
+            ("flexio_retry_backoff_us", "100us"),
+            ("flexio_pipeline_depth", "-2"),
+        ] {
+            let r = hints_from_info(Hints::default(), &[(key, val)]);
+            assert!(
+                matches!(r, Err(IoError::BadHints(_))),
+                "{key}={val}: expected BadHints, got {r:?}"
+            );
+        }
+        // Bad enum-ish values likewise.
+        assert!(hints_from_info(Hints::default(), &[("flexio_engine", "turbo")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("flexio_pfr", "on")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("flexio_exchange", "rdma")]).is_err());
+    }
+
+    #[test]
+    fn unknown_flexio_prefixed_keys_are_ignored_too() {
+        // The ignore-unknown rule is namespace-blind: a newer writer's
+        // flexio_* hints must not break an older reader.
+        let h = hints_from_info(
+            Hints::default(),
+            &[("flexio_future_knob", "whatever"), ("cb_nodes", "3")],
+        )
+        .unwrap();
+        assert_eq!(h.cb_nodes, Some(3));
+        assert_eq!(h.cb_buffer_size, Hints::default().cb_buffer_size);
+    }
+
+    #[test]
+    fn rejected_info_applies_nothing() {
+        // An error mid-list must not half-apply: callers keep their old
+        // hints object, and the returned Result carries no partial state.
+        let r = hints_from_info(Hints::default(), &[("cb_nodes", "3"), ("cb_buffer_size", "x")]);
+        assert!(r.is_err());
+    }
 }

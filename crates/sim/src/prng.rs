@@ -10,23 +10,43 @@
 #[derive(Debug, Clone)]
 pub struct XorShift64Star {
     state: u64,
+    /// Bits shifted off every output (see [`XorShift64Star::with_shrink`]).
+    shrink: u32,
 }
+
+/// The largest useful shrink level: outputs still span `[0, 4)`, so
+/// coin-flip draws keep both faces reachable.
+pub const MAX_SHRINK: u32 = 62;
 
 impl XorShift64Star {
     /// Create a generator from a seed. A zero seed (the one fixed point of
     /// the xorshift step) is remapped to a fixed non-zero constant.
     pub fn new(seed: u64) -> Self {
-        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        Self::with_shrink(seed, 0)
     }
 
-    /// Next 64 random bits.
+    /// A generator whose every output is right-shifted by `level` bits
+    /// (clamped to [`MAX_SHRINK`]). Generators built on `base + draw %
+    /// range` idioms then produce progressively *simpler* cases as the
+    /// level rises — fewer ranks, smaller blocks, shorter runs — while
+    /// staying fully determined by `(seed, level)`, which is what the
+    /// property harness's greedy case shrinking replays.
+    pub fn with_shrink(seed: u64, level: u32) -> Self {
+        XorShift64Star {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            shrink: level.min(MAX_SHRINK),
+        }
+    }
+
+    /// Next random value: 64 bits at shrink level 0, `64 - level` bits
+    /// (biased toward small values by construction) when shrinking.
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
         self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> self.shrink
     }
 
     /// A uniform value in `[0, bound)`; `bound` must be non-zero.
@@ -82,5 +102,28 @@ mod tests {
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shrink_level_zero_matches_new() {
+        let mut a = XorShift64Star::new(42);
+        let mut b = XorShift64Star::with_shrink(42, 0);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shrink_bounds_outputs() {
+        for level in [16u32, 32, 48, 56, 60, MAX_SHRINK] {
+            let mut r = XorShift64Star::with_shrink(7, level);
+            let bound = 1u64 << (64 - level);
+            for _ in 0..100 {
+                assert!(r.next_u64() < bound, "level {level} output escaped its bound");
+            }
+        }
+        // Levels past MAX_SHRINK clamp rather than zeroing every draw.
+        let mut r = XorShift64Star::with_shrink(7, 63);
+        assert!((0..100).any(|_| r.next_u64() != 0));
     }
 }

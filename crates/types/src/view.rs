@@ -589,6 +589,77 @@ mod tests {
     }
 
     #[test]
+    fn run_offsets_zero_count_and_boundary_edges() {
+        // A zero-count layout is fully degenerate: no span, no data, no
+        // runs, and gather/scatter accept the empty slices that implies.
+        let flat = Arc::new(flatten(&Datatype::bytes(4)));
+        let empty = MemLayout::new(Arc::clone(&flat), 0);
+        assert_eq!(empty.span(), 0);
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.run_offsets(0, 0).count(), 0);
+        empty.gather(&[], 0, &mut []);
+        empty.scatter(&mut [], 0, &[]);
+        // Zero-length ranges are fine anywhere in [0, total] — including
+        // the exclusive end — and the final byte is reachable alone.
+        let m = MemLayout::new(flat, 3);
+        assert_eq!(m.run_offsets(12, 0).count(), 0);
+        assert_eq!(m.run_offsets(11, 1).collect::<Vec<_>>(), vec![(11, 11, 1)]);
+    }
+
+    #[test]
+    fn single_byte_segments_yield_single_byte_runs() {
+        // 1-byte segments with holes: every run is exactly one byte and
+        // the borrowed runs still reassemble to the packed gather.
+        let dt = Datatype::indexed(vec![(0, 1), (3, 1), (6, 1)], Datatype::bytes(1));
+        let m = MemLayout::new(Arc::new(flatten(&dt)), 2);
+        let runs: Vec<_> = m.run_offsets(0, m.total()).collect();
+        assert_eq!(runs.len(), m.total() as usize);
+        assert!(runs.iter().all(|&(_, _, len)| len == 1));
+        let buf: Vec<u8> = (0..m.span()).map(|i| i as u8).collect();
+        let mut want = vec![0u8; m.total() as usize];
+        m.gather(&buf, 0, &mut want);
+        let got: Vec<u8> = m.runs(&buf, 0, m.total()).flat_map(|r| r.bytes.to_vec()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn runs_split_at_tile_boundaries_even_when_buffer_contiguous() {
+        // A contiguous type tiled at its own size: the mapping is the
+        // identity, but runs are emitted per tile — callers own any
+        // cross-tile coalescing (the zero-copy path's iovec builder does).
+        let m = MemLayout::new(Arc::new(flatten(&Datatype::bytes(4))), 3);
+        let runs: Vec<_> = m.run_offsets(0, 12).collect();
+        assert_eq!(runs, vec![(0, 0, 4), (4, 4, 4), (8, 8, 4)]);
+    }
+
+    #[test]
+    fn runs_cover_non_monotonic_memory_types() {
+        // Memory types may place later data at earlier buffer offsets
+        // (file views reject that; memory layouts must not). Runs follow
+        // data order and still reassemble to the packed gather.
+        let dt = Datatype::indexed(vec![(4, 2), (0, 2)], Datatype::bytes(1));
+        let m = MemLayout::new(Arc::new(flatten(&dt)), 2);
+        let buf: Vec<u8> = (10..10 + m.span() as u8).collect();
+        let runs: Vec<_> = m.run_offsets(0, m.total()).collect();
+        // Data order within each tile: the displ-4 segment first.
+        assert_eq!(runs[0].0, 4, "first run must sit at buffer offset 4");
+        assert_eq!(runs[1].0, 0, "second run wraps back to buffer offset 0");
+        let mut want = vec![0u8; m.total() as usize];
+        m.gather(&buf, 0, &mut want);
+        let got: Vec<u8> = m.runs(&buf, 0, m.total()).flat_map(|r| r.bytes.to_vec()).collect();
+        assert_eq!(got, want);
+        // Scatter is gather's inverse on the touched bytes.
+        let mut back = vec![0u8; m.span() as usize];
+        m.scatter(&mut back, 0, &want);
+        let mut expect = vec![0u8; m.span() as usize];
+        for (buf_off, _, len) in m.run_offsets(0, m.total()) {
+            let (o, l) = (buf_off as usize, len as usize);
+            expect[o..o + l].copy_from_slice(&buf[o..o + l]);
+        }
+        assert_eq!(back, expect);
+    }
+
+    #[test]
     fn cursor_streams_pieces() {
         let dt = Datatype::resized(0, 8, Datatype::bytes(4));
         let v = view(0, &dt);

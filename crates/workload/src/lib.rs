@@ -1,0 +1,52 @@
+//! # flexio-workload — seeded, structured workload generation
+//!
+//! The benches and hand-written suites exercise HPIO's *regular* strided
+//! patterns; the flexible engine exists precisely for everything else.
+//! This crate turns "everything else" into a first-class, reusable layer
+//! (the ViPIOS stance from PAPERS.md): a typed [`WorkloadSpec`] names a
+//! scenario family from the loosely-coupled many-task world of Zhang et
+//! al. — N-to-1 shared-file checkpoint, N-to-N restart with *shifted*
+//! rank counts, many-task independent-region writes, read-heavy analysis
+//! scans, and randomized mixed subarray / irregular views — and carries
+//! everything needed to run it: per-phase rank counts, per-rank datatypes
+//! and displacements, hint knobs, PFS geometry, and a fault plan.
+//!
+//! The pipeline is `spec → materialization → oracle`:
+//!
+//! * [`gen::generate`] draws a spec from the property harness's
+//!   [`XorShift64Star`](flexio_sim::XorShift64Star), so specs shrink with
+//!   the harness's greedy case shrinking and replay from `cc` regression
+//!   lines;
+//! * [`runner::run_spec`] materializes the spec against a real
+//!   [`Pfs`](flexio_pfs::Pfs) under a chosen engine / copy-path / fault
+//!   axis, one simulated world per phase (rank counts may differ phase to
+//!   phase — that is the restart scenario's point), returning images,
+//!   clocks, stats, and read-backs;
+//! * [`oracle::Oracle`] computes the expected file image and expected
+//!   read-backs engine-free, straight from the datatypes, so differential
+//!   suites have an independent referee.
+//!
+//! The crate also hosts the shared generator/runner helpers that
+//! `tests/engine_pipeline_parity.rs` and `tests/fault_injection.rs`
+//! previously copy-pasted ([`tiled`]), and the strided workload shape of
+//! `tests/engine_equivalence.rs` ([`strided`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod oracle;
+pub mod runner;
+pub mod spec;
+pub mod strided;
+pub mod tiled;
+
+pub use gen::generate;
+pub use oracle::{eq_padded, Oracle};
+pub use runner::{check_invariants, run_spec, PhaseResult, RunConfig, RunOutcome};
+pub use spec::{
+    checkpoint_spec, many_task_spec, mixed_subarray_spec, read_scan_spec, restart_spec, PfsShape,
+    PhaseOp, PhaseSpec, RankPlan, ScenarioKind, WorkloadSpec,
+};
+pub use strided::StridedSpec;
+pub use tiled::{env_zero_copy, read_file, run_tiled, step_data, RankOutcome, TiledShape};

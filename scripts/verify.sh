@@ -57,6 +57,22 @@ if [ "$THOROUGH" = 1 ]; then
     PROPTEST_CASES="${PROPTEST_CASES:-512}" \
     cargo test -q --release --offline --test engine_pipeline_parity --test fault_injection
 
+  # Workload-fuzz leg: the seeded scenario fuzzer (five workload
+  # families x oracle/engine/zero-copy/fault/determinism axes), same
+  # pinned seed discipline; a red case prints a `cc <seed>` line (plus
+  # its shrunk `s<level>` form) to pin in
+  # tests/workload_fuzz.proptest-regressions.
+  echo "== workload fuzz sweep (tests/workload_fuzz.rs) =="
+  FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+    PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+    cargo test -q --release --offline --test workload_fuzz
+
+  echo "== workload fuzz sweep, packed path (FLEXIO_ZERO_COPY=disable) =="
+  FLEXIO_ZERO_COPY=disable \
+    FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+    PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+    cargo test -q --release --offline --test workload_fuzz
+
   # Scale leg: the 4096-rank collective write/read smoke (event-loop
   # backend, byte-identity + phase-sum invariants) and the host_scale
   # sanity check (one host thread must beat 256 OS threads).

@@ -9,7 +9,10 @@
 //! * [`core`] — the collective I/O layer: `MpiFile`, hints, file realms,
 //!   the flexible engine and the ROMIO baseline;
 //! * [`hpio`] — the HPIO benchmark generator and the paper's evaluation
-//!   workloads.
+//!   workloads;
+//! * [`workload`] — the seeded structured workload generator: scenario
+//!   specs (checkpoint, restart, many-task, scans, mixed views), their
+//!   materialization, and the expected-image oracle.
 //!
 //! ## Quickstart
 //!
@@ -44,3 +47,4 @@ pub use flexio_io as io;
 pub use flexio_pfs as pfs;
 pub use flexio_sim as sim;
 pub use flexio_types as types;
+pub use flexio_workload as workload;

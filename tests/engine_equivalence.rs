@@ -7,44 +7,14 @@ use flexio::core::{Engine, ExchangeMode, Hints, MpiFile};
 use flexio::io::IoMethod;
 use flexio::pfs::{Pfs, PfsConfig, PfsCostModel};
 use flexio::sim::{run, CostModel};
-use flexio::types::{Datatype, Dt};
+use flexio::types::Datatype;
+use flexio::workload::StridedSpec;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// A randomized per-rank access pattern: strided blocks, rank-shifted.
-#[derive(Debug, Clone)]
-struct Workload {
-    nprocs: usize,
-    block: u64,
-    gap: u64,
-    count: u64,
-    disp_unit: u64,
-}
-
-impl Workload {
-    fn filetype(&self) -> Dt {
-        let unit = (self.block + self.gap) * self.nprocs as u64;
-        Datatype::resized(0, unit, Datatype::bytes(self.block))
-    }
-
-    fn disp(&self, rank: usize) -> u64 {
-        rank as u64 * self.disp_unit
-    }
-
-    fn bytes_per_rank(&self) -> u64 {
-        self.block * self.count
-    }
-
-    fn data(&self, rank: usize) -> Vec<u8> {
-        (0..self.bytes_per_rank())
-            .map(|i| ((rank as u64 * 89 + i * 13 + 5) % 247) as u8)
-            .collect()
-    }
-}
-
-fn arb_workload() -> impl Strategy<Value = Workload> {
+fn arb_workload() -> impl Strategy<Value = StridedSpec> {
     (2usize..6, 1u64..48, 0u64..64, 1u64..24).prop_map(|(nprocs, block, gap, count)| {
-        Workload {
+        StridedSpec {
             nprocs,
             block,
             gap,
@@ -54,7 +24,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
     })
 }
 
-fn run_write(w: &Workload, hints: Hints) -> Vec<u8> {
+fn run_write(w: &StridedSpec, hints: Hints) -> Vec<u8> {
     let pfs = Pfs::new(PfsConfig {
         n_osts: 3,
         stripe_size: 192,

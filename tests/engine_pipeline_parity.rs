@@ -14,11 +14,11 @@
 //! * ROMIO at depth 1 charges *exactly* what the pre-refactor serial
 //!   ROMIO loop charged, pinned number for number by harvested fixtures.
 
-use flexio::core::{Engine, ExchangeMode, Hints, IoError, MpiFile, PipelineDepth};
+use flexio::core::{Engine, ExchangeMode, Hints, PipelineDepth};
 use flexio::pfs::{FaultPlan, Pfs, PfsConfig, PfsCostModel};
 use flexio::sim::prop::Runner;
-use flexio::sim::{run, CostModel, Stats, XorShift64Star};
-use flexio::types::Datatype;
+use flexio::sim::{Stats, XorShift64Star};
+use flexio::workload::{env_zero_copy, read_file, run_tiled, RankOutcome, TiledShape};
 use std::sync::Arc;
 
 fn timed_pfs(faults: Option<&FaultPlan>) -> Arc<Pfs> {
@@ -35,22 +35,6 @@ fn timed_pfs(faults: Option<&FaultPlan>) -> Arc<Pfs> {
         Some(plan) => Pfs::with_faults(cfg, plan.clone()),
         None => Pfs::new(cfg),
     }
-}
-
-/// Raw file image via an out-of-world probe handle (the probe itself may
-/// draw a fault; the bytes are exact either way).
-fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
-    let h = pfs.open(path, usize::MAX - 1);
-    let mut out = vec![0u8; h.size() as usize];
-    let _ = h.read(0, 0, &mut out);
-    out
-}
-
-fn step_data(rank: usize, step: u64, len: usize) -> Vec<u8> {
-    let mut rng = XorShift64Star::new((rank as u64) << 32 | (step + 1));
-    let mut buf = vec![0u8; len];
-    rng.fill_bytes(&mut buf);
-    buf
 }
 
 /// One randomized parity case: a tiled collective workload plus the
@@ -104,17 +88,6 @@ fn random_parity(rng: &mut XorShift64Star) -> Parity {
     }
 }
 
-/// Each rank's `(elapsed, stats, per-call outcomes, read-back)`.
-type RankOutcome = (u64, Stats, Vec<Result<(), IoError>>, Vec<u8>);
-
-/// CI's `zerocopy` matrix leg sweeps the differential suites on both
-/// sides of the `flexio_zero_copy` hint with the same seeds:
-/// `FLEXIO_ZERO_COPY=disable` (or `0`/`off`) forces the packed staging
-/// path; anything else (and unset) keeps the zero-copy default.
-fn env_zero_copy() -> bool {
-    !matches!(std::env::var("FLEXIO_ZERO_COPY").as_deref(), Ok("disable") | Ok("0") | Ok("off"))
-}
-
 /// Run `p`'s workload (`steps` collective writes, one collective read)
 /// under `engine` at `depth` with the zero-copy datatype path on or off.
 /// Returns the file image, every rank's outcome, and the PFS
@@ -137,24 +110,8 @@ fn roundtrip(
         io_retries: 12,
         ..Hints::default()
     };
-    let w = p.clone();
-    let inner = Arc::clone(&pfs);
-    let out = run(p.nprocs, CostModel::default(), move |rank| {
-        let mut f = MpiFile::open(rank, &inner, "parity", hints.clone()).unwrap();
-        let ftype =
-            Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
-        f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
-        let len = (w.reps * w.block) as usize;
-        let mut results = Vec::new();
-        for s in 0..w.steps {
-            let data = step_data(rank.rank(), s, len);
-            results.push(f.write_all(&data, &Datatype::bytes(len as u64), 1));
-        }
-        let mut back = vec![0u8; len];
-        results.push(f.read_all(&mut back, &Datatype::bytes(len as u64), 1));
-        let _ = f.close();
-        (rank.now(), rank.stats(), results, back)
-    });
+    let shape = TiledShape { nprocs: p.nprocs, block: p.block, reps: p.reps, steps: p.steps };
+    let out = run_tiled(&pfs, "parity", shape, &hints, true);
     let img = read_file(&pfs, "parity");
     (img, out, pfs.stats().nb_inflight_peak)
 }
@@ -296,21 +253,14 @@ fn zero_copy_parity_with_packed_staging() {
 /// buffer, timed PFS), so the engines' fixtures stay comparable.
 fn fixture_run(hints: Hints) -> Vec<(u64, Stats)> {
     let pfs = timed_pfs(None);
-    let (nprocs, blocks, steps, block) = (4usize, 16u64, 2u64, 64u64);
-    run(nprocs, CostModel::default(), move |rank| {
-        let mut f = MpiFile::open(rank, &pfs, "fix", hints.clone()).unwrap();
-        let ftype = Datatype::resized(0, nprocs as u64 * block, Datatype::bytes(block));
-        f.set_view(rank.rank() as u64 * block, &Datatype::bytes(1), &ftype).unwrap();
-        let len = (blocks * block) as usize;
-        for s in 0..steps {
-            let data = step_data(rank.rank(), s, len);
-            f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
-        }
-        let mut back = vec![0u8; len];
-        f.read_all(&mut back, &Datatype::bytes(len as u64), 1).unwrap();
-        f.close().unwrap();
-        (rank.now(), rank.stats())
-    })
+    let shape = TiledShape { nprocs: 4, block: 64, reps: 16, steps: 2 };
+    run_tiled(&pfs, "fix", shape, &hints, true)
+        .into_iter()
+        .map(|(now, stats, results, _)| {
+            assert!(results.iter().all(|r| r.is_ok()), "fixture op failed");
+            (now, stats)
+        })
+        .collect()
 }
 
 /// Per-rank `(clock, phase buckets, hidden ns, pairs, copy bytes,

@@ -16,11 +16,11 @@
 //! * each rank's phase buckets still sum to its elapsed clock;
 //! * with no plan installed, every fault counter stays zero.
 
-use flexio::core::{Engine, ExchangeMode, Hints, IoError, MpiFile, PipelineDepth};
+use flexio::core::{Engine, ExchangeMode, Hints, IoError, PipelineDepth};
 use flexio::pfs::{FaultPlan, Pfs, PfsConfig, PfsCostModel, StragglerSpec};
 use flexio::sim::prop::Runner;
-use flexio::sim::{run, CostModel, Stats, XorShift64Star};
-use flexio::types::Datatype;
+use flexio::sim::{Stats, XorShift64Star};
+use flexio::workload::{env_zero_copy, read_file, run_tiled, RankOutcome, TiledShape};
 use std::sync::Arc;
 
 /// One randomized chaos case: a tiled collective workload, the engine and
@@ -103,14 +103,6 @@ fn chaos_pfs(c: &Chaos, faults: bool) -> Arc<Pfs> {
     }
 }
 
-/// CI's `zerocopy` matrix leg sweeps the chaos suite on both sides of
-/// the `flexio_zero_copy` hint with the same seeds:
-/// `FLEXIO_ZERO_COPY=disable` (or `0`/`off`) forces the packed staging
-/// path; anything else (and unset) keeps the zero-copy default.
-fn env_zero_copy() -> bool {
-    !matches!(std::env::var("FLEXIO_ZERO_COPY").as_deref(), Ok("disable") | Ok("0") | Ok("off"))
-}
-
 fn chaos_hints(c: &Chaos) -> Hints {
     Hints {
         engine: c.engine,
@@ -126,51 +118,17 @@ fn chaos_hints(c: &Chaos) -> Hints {
     }
 }
 
-fn step_data(rank: usize, step: u64, len: usize) -> Vec<u8> {
-    let mut rng = XorShift64Star::new((rank as u64) << 32 | (step + 1));
-    let mut buf = vec![0u8; len];
-    rng.fill_bytes(&mut buf);
-    buf
+/// `c`'s workload as the shared tiled shape.
+fn chaos_shape(c: &Chaos) -> TiledShape {
+    TiledShape { nprocs: c.nprocs, block: c.block, reps: c.reps, steps: c.steps }
 }
-
-/// Raw file image via an out-of-world probe handle. The probe request
-/// itself may draw a fault; the bytes are exact either way.
-fn read_file(pfs: &Arc<Pfs>, path: &str) -> Vec<u8> {
-    let h = pfs.open(path, usize::MAX - 1);
-    let mut out = vec![0u8; h.size() as usize];
-    let _ = h.read(0, 0, &mut out);
-    out
-}
-
-/// Each rank's `(elapsed, stats, per-call results, read-back)`.
-type RankOutcome = (u64, Stats, Vec<Result<(), IoError>>, Vec<u8>);
 
 /// Run `c`'s workload (`steps` collective writes, one collective read),
 /// with or without the fault plan installed. Returns the file image, the
 /// injector's fault count, and every rank's outcome.
 fn roundtrip(c: &Chaos, faults: bool) -> (Vec<u8>, u64, Vec<RankOutcome>) {
     let pfs = chaos_pfs(c, faults);
-    let hints = chaos_hints(c);
-    let w = c.clone();
-    let inner = Arc::clone(&pfs);
-    let out = run(c.nprocs, CostModel::default(), move |rank| {
-        let mut f = MpiFile::open(rank, &inner, "chaos", hints.clone()).unwrap();
-        let ftype =
-            Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
-        f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
-        let len = (w.reps * w.block) as usize;
-        let mut results = Vec::new();
-        for s in 0..w.steps {
-            let data = step_data(rank.rank(), s, len);
-            results.push(f.write_all(&data, &Datatype::bytes(len as u64), 1));
-        }
-        let mut back = vec![0u8; len];
-        results.push(f.read_all(&mut back, &Datatype::bytes(len as u64), 1));
-        // The close-time flush has no retry loop; a faulted close still
-        // releases everything, so the outcome is not part of the property.
-        let _ = f.close();
-        (rank.now(), rank.stats(), results, back)
-    });
+    let out = run_tiled(&pfs, "chaos", chaos_shape(c), &chaos_hints(c), true);
     let img = read_file(&pfs, "chaos");
     (img, pfs.stats().faults_injected, out)
 }
@@ -320,32 +278,18 @@ fn straggler_degrades_and_rebalances() {
     let mut hints = chaos_hints(&c);
     hints.fr_alignment = Some(2048);
     let run_once = |pfs: Arc<Pfs>| {
-        let w = c.clone();
-        let hints = hints.clone();
-        let inner = Arc::clone(&pfs);
-        let out = run(w.nprocs, CostModel::default(), move |rank| {
-            let mut f = MpiFile::open(rank, &inner, "slow", hints.clone()).unwrap();
-            let ftype =
-                Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
-            f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
-            let len = (w.reps * w.block) as usize;
-            for s in 0..w.steps {
-                let data = step_data(rank.rank(), s, len);
-                f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
-            }
-            f.close().unwrap();
-            (rank.now(), rank.stats())
-        });
+        let out = run_tiled(&pfs, "slow", chaos_shape(&c), &hints, false);
+        assert!(out.iter().all(|(_, _, results, _)| results.iter().all(|r| r.is_ok())));
         (read_file(&pfs, "slow"), out)
     };
     let (img_s, out_s) = run_once(Pfs::with_faults(pfs_cfg, c.plan.clone()));
     let (img_o, out_o) = run_once(Pfs::new(pfs_cfg));
     assert_eq!(img_s, img_o, "rebalancing must not change the bytes");
-    let degraded: u64 = out_s.iter().map(|(_, s)| s.degraded_cycles).sum();
-    let rebalanced: u64 = out_s.iter().map(|(_, s)| s.realms_rebalanced).sum();
+    let degraded: u64 = out_s.iter().map(|(_, s, _, _)| s.degraded_cycles).sum();
+    let rebalanced: u64 = out_s.iter().map(|(_, s, _, _)| s.realms_rebalanced).sum();
     assert!(degraded > 0, "straggler OST never flagged as a degraded cycle");
     assert!(rebalanced > 0, "no realm rebalancing despite a persistent straggler");
-    for (r, (_, s)) in out_o.iter().enumerate() {
+    for (r, (_, s, _, _)) in out_o.iter().enumerate() {
         assert_eq!(s.degraded_cycles, 0, "oracle rank {r} degraded");
         assert_eq!(s.realms_rebalanced, 0, "oracle rank {r} rebalanced");
     }
@@ -391,32 +335,18 @@ fn rebalance_converges_in_one_detection() {
     let mut hints = chaos_hints(&c);
     hints.fr_alignment = Some(2048);
     let run_once = |pfs: Arc<Pfs>| {
-        let w = c.clone();
-        let hints = hints.clone();
-        let inner = Arc::clone(&pfs);
-        let out = run(w.nprocs, CostModel::default(), move |rank| {
-            let mut f = MpiFile::open(rank, &inner, "conv", hints.clone()).unwrap();
-            let ftype =
-                Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
-            f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
-            let len = (w.reps * w.block) as usize;
-            for s in 0..w.steps {
-                let data = step_data(rank.rank(), s, len);
-                f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
-            }
-            f.close().unwrap();
-            (rank.now(), rank.stats())
-        });
+        let out = run_tiled(&pfs, "conv", chaos_shape(&c), &hints, false);
+        assert!(out.iter().all(|(_, _, results, _)| results.iter().all(|r| r.is_ok())));
         (read_file(&pfs, "conv"), out)
     };
     let (img_s, out_s) = run_once(Pfs::with_faults(pfs_cfg, c.plan.clone()));
     let (img_o, _) = run_once(Pfs::new(pfs_cfg));
     assert_eq!(img_s, img_o, "rebalancing must not change the bytes");
-    let degraded: u64 = out_s.iter().map(|(_, s)| s.degraded_cycles).sum();
+    let degraded: u64 = out_s.iter().map(|(_, s, _, _)| s.degraded_cycles).sum();
     assert!(degraded > 0, "straggler OST never flagged");
     // Exactly one collective rebalance event: every rank notes it once,
     // and no later call detects a residual imbalance.
-    let rebalanced: u64 = out_s.iter().map(|(_, s)| s.realms_rebalanced).sum();
+    let rebalanced: u64 = out_s.iter().map(|(_, s, _, _)| s.realms_rebalanced).sum();
     assert_eq!(
         rebalanced,
         c.nprocs as u64,
@@ -460,20 +390,13 @@ fn rebalance_patches_schedule_cache_without_a_miss() {
     let mut hints = chaos_hints(&c);
     hints.fr_alignment = Some(2048);
     let pfs = Pfs::with_faults(pfs_cfg, c.plan.clone());
-    let w = c.clone();
-    let inner = Arc::clone(&pfs);
-    let out = run(c.nprocs, CostModel::default(), move |rank| {
-        let mut f = MpiFile::open(rank, &inner, "patch", hints.clone()).unwrap();
-        let ftype = Datatype::resized(0, w.nprocs as u64 * w.block, Datatype::bytes(w.block));
-        f.set_view(rank.rank() as u64 * w.block, &Datatype::bytes(1), &ftype).unwrap();
-        let len = (w.reps * w.block) as usize;
-        for s in 0..w.steps {
-            let data = step_data(rank.rank(), s, len);
-            f.write_all(&data, &Datatype::bytes(len as u64), 1).unwrap();
-        }
-        f.close().unwrap();
-        rank.stats()
-    });
+    let out: Vec<Stats> = run_tiled(&pfs, "patch", chaos_shape(&c), &hints, false)
+        .into_iter()
+        .map(|(_, stats, results, _)| {
+            assert!(results.iter().all(|r| r.is_ok()), "patch-run op failed");
+            stats
+        })
+        .collect();
     let rebalanced: u64 = out.iter().map(|s| s.realms_rebalanced).sum();
     assert_eq!(rebalanced, c.nprocs as u64, "expected exactly one rebalance event");
     for (r, s) in out.iter().enumerate() {
@@ -512,16 +435,14 @@ fn lock_stalls_only_move_time() {
         }
     };
     let work = |pfs: Arc<Pfs>| {
-        let inner = Arc::clone(&pfs);
-        let out = run(4, CostModel::default(), move |rank| {
-            let mut f = MpiFile::open(rank, &inner, "dlm", Hints::default()).unwrap();
-            let ftype = Datatype::resized(0, 4 * 64, Datatype::bytes(64));
-            f.set_view(rank.rank() as u64 * 64, &Datatype::bytes(1), &ftype).unwrap();
-            let data = step_data(rank.rank(), 0, 1024);
-            f.write_all(&data, &Datatype::bytes(1024), 1).unwrap();
-            f.close().unwrap();
-            rank.now()
-        });
+        let shape = TiledShape { nprocs: 4, block: 64, reps: 16, steps: 1 };
+        let out: Vec<u64> = run_tiled(&pfs, "dlm", shape, &Hints::default(), false)
+            .into_iter()
+            .map(|(now, _, results, _)| {
+                assert!(results.iter().all(|r| r.is_ok()), "dlm op failed");
+                now
+            })
+            .collect();
         (read_file(&pfs, "dlm"), out)
     };
     let (img_fast, t_fast) = work(mk(0));

@@ -1,0 +1,184 @@
+//! Seeded workload fuzzer: the differential suite over the structured
+//! scenario generator (`flexio::workload`).
+//!
+//! Every generated case — checkpoint N-to-1, restart with shifted rank
+//! counts, many-task regions, read-heavy scans, mixed subarray/irregular
+//! views — is run under four differential axes and one oracle:
+//!
+//! * **oracle**: the flexible engine's file image and every read-back
+//!   must match the engine-free expected-image oracle (zeros past EOF);
+//! * **engine vs engine**: ROMIO must land the same bytes and read-backs
+//!   as the flexible engine;
+//! * **zero-copy vs packed**: disabling `flexio_zero_copy` must change
+//!   nothing but the staging ledger;
+//! * **faulted vs clean**: the spec's transient-fault plan (with a
+//!   generous retry budget) must perturb time, never data;
+//! * **run-twice determinism**: an identical rerun must be bit-identical
+//!   in images, read-backs, outcomes, clocks, and stats.
+//!
+//! Uniform invariants on every run: phase buckets sum to each rank's
+//! clock, `bytes_copied ≤ memcpy_bytes`, and collective outcomes agree
+//! across the world. Failures shrink via the harness's greedy case
+//! shrinking and are pinned in `workload_fuzz.proptest-regressions`.
+
+use flexio::core::Engine;
+use flexio::sim::prop::Runner;
+use flexio::sim::XorShift64Star;
+use flexio::workload::{
+    check_invariants, checkpoint_spec, env_zero_copy, eq_padded, generate, many_task_spec,
+    mixed_subarray_spec, read_scan_spec, restart_spec, run_spec, Oracle, PhaseOp, RunConfig,
+    RunOutcome, ScenarioKind, WorkloadSpec,
+};
+
+/// Run one spec through every axis and cross-check.
+fn fuzz_one(spec: &WorkloadSpec) {
+    let zc = env_zero_copy();
+    let flexible = RunConfig { engine: Engine::Flexible, zero_copy: zc, faulted: false };
+    let a = run_spec(spec, flexible);
+    check_invariants(&a, "flexible/clean");
+
+    // Oracle: image and every read phase's read-backs.
+    let oracle = Oracle::from_spec(spec);
+    assert!(
+        eq_padded(&a.image, oracle.image()),
+        "flexible image diverged from the oracle (kind {:?})",
+        spec.kind
+    );
+    for (pi, phase) in spec.phases.iter().enumerate() {
+        if phase.op != PhaseOp::Read {
+            continue;
+        }
+        for (r, plan) in phase.plans.iter().enumerate() {
+            assert_eq!(
+                a.phases[pi].read_backs[r],
+                oracle.expected_read(plan),
+                "phase {pi} rank {r}: read-back diverged from the oracle"
+            );
+        }
+    }
+
+    // Engine vs engine.
+    let b = run_spec(spec, RunConfig { engine: Engine::Romio, ..flexible });
+    check_invariants(&b, "romio/clean");
+    assert!(eq_padded(&b.image, &a.image), "engines disagree on the bytes");
+    for (pi, (pa, pb)) in a.phases.iter().zip(&b.phases).enumerate() {
+        assert_eq!(pa.read_backs, pb.read_backs, "phase {pi}: engine read-backs differ");
+        assert_eq!(pa.outcomes, pb.outcomes, "phase {pi}: engine outcomes differ");
+    }
+
+    // Zero-copy vs packed (same engine).
+    let c = run_spec(spec, RunConfig { zero_copy: false, ..flexible });
+    check_invariants(&c, "flexible/packed");
+    assert!(eq_padded(&c.image, &a.image), "zero-copy changed the bytes on disk");
+    for (pi, (pa, pc)) in a.phases.iter().zip(&c.phases).enumerate() {
+        assert_eq!(pa.read_backs, pc.read_backs, "phase {pi}: zero-copy read-backs differ");
+        for (r, (sa, sc)) in pa.stats.iter().zip(&pc.stats).enumerate() {
+            assert!(
+                sa.bytes_copied <= sc.bytes_copied || !zc,
+                "phase {pi} rank {r}: zero-copy raised the staging ledger ({} > {})",
+                sa.bytes_copied,
+                sc.bytes_copied
+            );
+        }
+    }
+
+    // Faulted vs clean: retries absorb the spec's transient plan.
+    let d = run_spec(spec, RunConfig { faulted: true, ..flexible });
+    check_invariants(&d, "flexible/faulted");
+    assert!(eq_padded(&d.image, &a.image), "faults changed the bytes on disk");
+    for (pi, (pa, pd)) in a.phases.iter().zip(&d.phases).enumerate() {
+        assert_eq!(pa.read_backs, pd.read_backs, "phase {pi}: faulted read-backs differ");
+    }
+
+    // Run-twice determinism: bit-identical everything.
+    let e = run_spec(spec, flexible);
+    assert_eq!(a, e, "identical rerun produced a different outcome");
+}
+
+#[test]
+fn workload_differential_fuzz() {
+    Runner::new("workload_differential_fuzz")
+        .cases(16)
+        .regressions(include_str!("workload_fuzz.proptest-regressions"))
+        .run(generate, fuzz_one);
+}
+
+/// The generator reaches every scenario family within a small seed
+/// budget, so elevated-case CI runs always sweep all five.
+#[test]
+fn generator_covers_every_family() {
+    let mut rng = XorShift64Star::new(0x00F1_E810);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..64 {
+        seen.insert(generate(&mut rng).kind);
+    }
+    assert_eq!(seen.len(), ScenarioKind::ALL.len(), "families missing from {seen:?}");
+}
+
+// Directed per-family cases: fixed-shape members of each family run
+// through the full differential battery even at PROPTEST_CASES=1.
+
+#[test]
+fn checkpoint_family_directed() {
+    fuzz_one(&checkpoint_spec(0xC0FFEE, 4, 32, 6, 3));
+}
+
+#[test]
+fn restart_family_directed() {
+    // 5 writers, 3 readers over a non-divisible element count, readers
+    // reaching 200 elements past the last writer's extent.
+    fuzz_one(&restart_spec(0xBEEF, 5, 3, 331, 3, 200));
+    // More readers than elements: trailing readers participate empty.
+    fuzz_one(&restart_spec(0xBEEF + 1, 2, 7, 5, 2, 3));
+}
+
+#[test]
+fn many_task_family_directed() {
+    fuzz_one(&many_task_spec(0xDAB, 5, 48, 3, 100, 2));
+}
+
+#[test]
+fn read_scan_family_directed() {
+    fuzz_one(&read_scan_spec(0x5CA4, 4, 6, 24, 4, 3));
+}
+
+#[test]
+fn mixed_family_directed() {
+    fuzz_one(&mixed_subarray_spec(0x2D, 2, 3, 4, 5, 4));
+    // Irregular indexed views are rng-built; pin one seed.
+    let mut rng = XorShift64Star::new(0x1112);
+    fuzz_one(&flexio::workload::gen::mixed_irregular_spec(&mut rng, 0x1112, 4));
+}
+
+/// The restart scenario's sharpest edge in isolation: a read phase whose
+/// partition extends past the last written byte must see zeros on every
+/// rank, under both engines.
+#[test]
+fn reads_past_last_writer_extent_see_zeros() {
+    let spec = restart_spec(0xE0F, 3, 4, 64, 1, 64);
+    let oracle = Oracle::from_spec(&spec);
+    for engine in [Engine::Flexible, Engine::Romio] {
+        let out = run_spec(&spec, RunConfig { engine, zero_copy: true, faulted: false });
+        let read = &out.phases[1];
+        for (r, plan) in spec.phases[1].plans.iter().enumerate() {
+            assert_eq!(
+                read.read_backs[r],
+                oracle.expected_read(plan),
+                "{engine:?}: rank {r} read past EOF"
+            );
+        }
+    }
+}
+
+/// `RunOutcome` equality is exhaustive (images, clocks, stats, outcomes,
+/// read-backs), so the determinism axis is as strong as it claims.
+#[test]
+fn outcome_equality_is_sensitive() {
+    let spec = checkpoint_spec(0xE11, 2, 16, 2, 1);
+    let cfg = RunConfig { engine: Engine::Flexible, zero_copy: true, faulted: false };
+    let a: RunOutcome = run_spec(&spec, cfg);
+    let mut b = a.clone();
+    assert_eq!(a, b);
+    b.phases[0].clocks[0] += 1;
+    assert_ne!(a, b, "clock perturbation must break equality");
+}
