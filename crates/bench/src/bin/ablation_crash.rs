@@ -1,0 +1,179 @@
+//! Ablation A8 — crash recovery: survivor-completion cost vs crash point.
+//!
+//! Two panels on the crash-checkpoint workload family
+//! (`flexio_workload::run_crash_checkpoint`: clean epoch-committed
+//! generations, then one generation with a seeded victim crash):
+//!
+//! 1. **Crash point**: slowdown of the crash generation (slowest
+//!    survivor's virtual clock vs the same generation run fault-free)
+//!    as the drawn crash time sweeps from collective entry to
+//!    three-quarters through the run, with recovery on (`recover`: the
+//!    survivors detect, re-elect aggregators, re-partition, and replay
+//!    to a published survivor checkpoint) and off (`abort`: the same
+//!    detection, then the agreed `RanksFailed` verdict — the cost of
+//!    *failing cleanly*). One table per aggregator count: recovery
+//!    replays whole collectives, so more aggregators change the realm
+//!    re-partition but not the replay granularity.
+//! 2. **Watchdog**: recovery slowdown at a mid-run crash vs
+//!    `flexio_watchdog_us`. Detection latency is the watchdog deadline,
+//!    so the curve is linear in the timeout until replay cost dominates
+//!    — the knob trades false-positive margin against recovery time.
+//!
+//! Every recovered arm must publish the crash generation as a survivor
+//! checkpoint; every aborted arm must leave the previous generation
+//! committed. Both are asserted, so the ablation doubles as a smoke
+//! test of the commit protocol at bench scale.
+//!
+//! Paper scale (`--paper`): 32 procs, aggregators {4, 16}.
+//! Default scale: 8 procs, aggregators {2, 4}.
+
+use flexio_bench::{print_table, Scale};
+use flexio_workload::{run_crash_checkpoint, CrashOutcome, CrashScenario};
+
+/// Clean generations committed before the crash generation: one, so the
+/// aborted arms have an old epoch to fall back to.
+const CLEAN_EPOCHS: u64 = 1;
+
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    nprocs: usize,
+    block: u64,
+    reps: u64,
+    aggs: usize,
+}
+
+impl Shape {
+    fn scenario(&self, at_ns: u64, recovery: bool, watchdog_us: u64) -> CrashScenario {
+        CrashScenario {
+            seed: 0xA8,
+            nprocs: self.nprocs,
+            block: self.block,
+            reps: self.reps,
+            clean_epochs: CLEAN_EPOCHS,
+            aggs: self.aggs,
+            victim: self.nprocs / 2,
+            at_ns,
+            recovery,
+            watchdog_us,
+            torn_rate: 0.0,
+        }
+    }
+}
+
+struct Sample {
+    /// Slowest surviving rank's clock in the crash generation.
+    gen_ns: u64,
+    /// Generation the header names after everything settled.
+    committed: Option<u64>,
+    recovered: u64,
+    rebalanced: u64,
+    survivors: usize,
+}
+
+fn sample(scn: &CrashScenario) -> Sample {
+    let out: CrashOutcome = run_crash_checkpoint(scn);
+    let last = out.epochs.last().expect("crash generation ran");
+    let recs: Vec<_> = last.iter().flatten().collect();
+    Sample {
+        gen_ns: recs.iter().map(|r| r.clock).max().unwrap_or(0),
+        committed: out.committed,
+        recovered: recs.iter().map(|r| r.stats.ranks_recovered).max().unwrap_or(0),
+        rebalanced: recs.iter().map(|r| r.stats.realms_rebalanced).max().unwrap_or(0),
+        survivors: out.survivors.len(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (nprocs, block, reps, agg_counts): (usize, u64, u64, Vec<usize>) = if scale.paper {
+        (32, 4096, 8, vec![4, 16])
+    } else {
+        (8, 1024, 4, vec![2, 4])
+    };
+    // `--nprocs N` rescales the world; aggregator counts track it.
+    let (nprocs, agg_counts) = match scale.nprocs {
+        Some(n) => (n, vec![(n / 8).max(1), (n / 2).max(1)]),
+        None => (nprocs, agg_counts),
+    };
+    let watchdog_us = 200_000u64;
+
+    println!("# Ablation A8 — crash recovery: survivor completion vs crash point");
+    println!("# {}", scale.describe());
+    println!(
+        "# crash-checkpoint workload: {nprocs} procs x {reps} tiles of {block} B, \
+         {CLEAN_EPOCHS} clean epoch(s) then a mid-world victim crash"
+    );
+
+    // ---- panel 1: crash point, recovery on vs off --------------------------
+    println!("\n# panel 1: crash point sweep at watchdog {watchdog_us} us");
+    println!(
+        "# columns: aggs,frac,at_ns,mode,gen_ns,slowdown,survivors,\
+         ranks_recovered,realms_rebalanced,committed"
+    );
+    let fracs = [0.0, 0.25, 0.5, 0.75];
+    for &aggs in &agg_counts {
+        let w = Shape { nprocs, block, reps, aggs };
+        // Fault-free reference: the crash time past any checkpoint, so
+        // the victim survives and the generation publishes in full.
+        let base = sample(&w.scenario(u64::MAX / 2, true, watchdog_us));
+        assert_eq!(base.committed, Some(CLEAN_EPOCHS), "reference run must publish");
+        assert_eq!(base.survivors, nprocs, "reference run must keep every rank");
+        let mut series: Vec<(String, Vec<f64>)> =
+            vec![("recover".into(), Vec::new()), ("abort".into(), Vec::new())];
+        for &frac in &fracs {
+            let at_ns = (base.gen_ns as f64 * frac) as u64;
+            for (si, (mode, recovery)) in
+                [("recover", true), ("abort", false)].iter().enumerate()
+            {
+                let s = sample(&w.scenario(at_ns, *recovery, watchdog_us));
+                assert_eq!(s.survivors, nprocs - 1, "frac {frac}: the victim must die");
+                if *recovery {
+                    assert_eq!(s.committed, Some(CLEAN_EPOCHS), "recovered arm must publish");
+                    assert_eq!(s.recovered, 1, "one dead peer counted");
+                } else {
+                    assert_eq!(
+                        s.committed,
+                        Some(CLEAN_EPOCHS - 1),
+                        "aborted arm must keep the old epoch"
+                    );
+                }
+                let slowdown = s.gen_ns as f64 / base.gen_ns as f64;
+                println!(
+                    "{aggs},{frac},{at_ns},{mode},{},{:.3},{},{},{},{:?}",
+                    s.gen_ns, slowdown, s.survivors, s.recovered, s.rebalanced, s.committed
+                );
+                series[si].1.push(slowdown);
+            }
+        }
+        print_table(
+            &format!("A8.1 crash-generation slowdown, {aggs} aggs"),
+            "crash frac",
+            &fracs.iter().map(|f| format!("{f}")).collect::<Vec<_>>(),
+            &series,
+        );
+    }
+
+    // ---- panel 2: watchdog timeout at a mid-run crash ----------------------
+    println!("\n# panel 2: watchdog sweep, mid-run crash, recovery on");
+    println!("# columns: aggs,watchdog_us,gen_ns,slowdown,realms_rebalanced");
+    let watchdogs = [10_000u64, 50_000, 200_000, 1_000_000];
+    let mut series: Vec<(String, Vec<f64>)> =
+        agg_counts.iter().map(|a| (format!("{a} aggs"), Vec::new())).collect();
+    for (si, &aggs) in agg_counts.iter().enumerate() {
+        let w = Shape { nprocs, block, reps, aggs };
+        let base = sample(&w.scenario(u64::MAX / 2, true, watchdog_us));
+        for &wd in &watchdogs {
+            let s = sample(&w.scenario(base.gen_ns / 2, true, wd));
+            assert_eq!(s.committed, Some(CLEAN_EPOCHS), "recovered arm must publish");
+            let slowdown = s.gen_ns as f64 / base.gen_ns as f64;
+            println!("{aggs},{wd},{},{:.3},{}", s.gen_ns, slowdown, s.rebalanced);
+            series[si].1.push(slowdown);
+        }
+    }
+    print_table(
+        "A8.2 recovery slowdown vs watchdog timeout (mid-run crash)",
+        "watchdog us",
+        &watchdogs.iter().map(|w| format!("{w}")).collect::<Vec<_>>(),
+        &series,
+    );
+}

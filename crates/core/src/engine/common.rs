@@ -65,6 +65,7 @@ pub fn retry_io(
 pub fn agree_error(rank: &Rank, local: Option<PfsError>) -> Option<PfsError> {
     let kind_code = |k: PfsErrorKind| match k {
         PfsErrorKind::TransientOst => 1u64,
+        PfsErrorKind::TornWrite => 2u64,
     };
     let mine = match &local {
         Some(e) => ((rank.rank() as u64) << 32) | ((e.ost as u64 & 0xff_ffff) << 8) | kind_code(e.kind),
@@ -82,6 +83,7 @@ pub fn agree_error(rank: &Rank, local: Option<PfsError>) -> Option<PfsError> {
     let at = rank.allreduce_min(at_vote);
     let kind = match winner & 0xff {
         1 => PfsErrorKind::TransientOst,
+        2 => PfsErrorKind::TornWrite,
         c => unreachable!("unknown agreed fault kind code {c}"),
     };
     Some(PfsError { kind, ost: ((winner >> 8) & 0xff_ffff) as usize, at })
@@ -388,6 +390,17 @@ mod tests {
             agree_error(rank, local)
         });
         let expect = PfsError { kind: PfsErrorKind::TransientOst, ost: 5, at: 777 };
+        assert!(outcomes.iter().all(|o| *o == Some(expect)), "{outcomes:?}");
+    }
+
+    #[test]
+    fn agree_error_round_trips_torn_write_kind() {
+        let outcomes = flexio_sim::run(3, flexio_sim::CostModel::default(), |rank| {
+            let local = (rank.rank() == 2)
+                .then_some(PfsError { kind: PfsErrorKind::TornWrite, ost: 3, at: 42 });
+            agree_error(rank, local)
+        });
+        let expect = PfsError { kind: PfsErrorKind::TornWrite, ost: 3, at: 42 };
         assert!(outcomes.iter().all(|o| *o == Some(expect)), "{outcomes:?}");
     }
 

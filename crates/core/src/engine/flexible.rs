@@ -26,6 +26,7 @@ use crate::engine::common::{
     agree_error, group_by_window, merge_pieces, retry_io, ClientStream, Piece, PlanEntry,
 };
 use crate::engine::pipeline::{self, CapPolicy, CycleDriver, StragglerVerdict};
+use crate::engine::recovery::{crash_boundary, CrashState};
 use crate::engine::schedule::{self, schedule_key, CycleSchedule, ExchangeSchedule};
 use crate::error::{IoError, Result};
 use crate::hints::{aggregator_ranks, ExchangeMode, Hints};
@@ -70,13 +71,22 @@ pub fn run(
     handle: &FileHandle,
     my: &ClientAccess,
     mem: &MemLayout,
-    mut buf: DataBuf<'_>,
+    buf: &mut DataBuf<'_>,
     hints: &Hints,
     pfr_state: &mut Option<Vec<FileRealm>>,
     sched_cache: &mut Option<ExchangeSchedule>,
 ) -> Result<()> {
     let nprocs = rank.nprocs();
     let is_write = buf.is_write();
+    // Crash machinery arms only when the plan schedules crashes: all
+    // ranks see the same plan, so the per-cycle boundary checks (and
+    // their heartbeats) run collectively or not at all, and crash-free
+    // plans stay charge-identical.
+    let mut crash = handle
+        .pfs()
+        .fault_plan()
+        .is_some_and(|p| !p.crashes.is_empty())
+        .then(|| CrashState::new(hints));
 
     // ---- metadata exchange: flattened filetypes (D pairs each) ----------
     rank.charge_pairs(my.view.d() as u64);
@@ -130,14 +140,41 @@ pub fn run(
     let charge_cycles = !hit && !derive_overlap;
     let n_agg = sched.agg_ranks.len();
     let outcome = if is_write {
-        let mut driver =
-            FlexWrite { rank, handle, my, mem, buf: &buf, hints, sched, charge_cycles };
+        let mut driver = FlexWrite {
+            rank,
+            handle,
+            my,
+            mem,
+            buf: &*buf,
+            hints,
+            sched,
+            charge_cycles,
+            crash: crash.as_mut(),
+        };
         pipeline::drive_write(rank, handle, &mut driver, policy, Some(&sched.agg_ranks), derive_win)
     } else {
-        let mut driver =
-            FlexRead { rank, handle, my, mem, buf: &mut buf, hints, sched, charge_cycles };
+        let mut driver = FlexRead {
+            rank,
+            handle,
+            my,
+            mem,
+            buf: &mut *buf,
+            hints,
+            sched,
+            charge_cycles,
+            crash: crash.as_mut(),
+        };
         pipeline::drive_read(rank, handle, &mut driver, policy, Some(&sched.agg_ranks), derive_win)
     };
+
+    // A crash-aborted drive returns before any further collective could
+    // hang on the dead peers: the straggler machinery and the error
+    // agreement both assume every member answers. The dead set is already
+    // agreed (two-round detection), so this error is collective too.
+    if outcome.aborted {
+        let dead = crash.map(|c| c.dead).expect("only the crash boundary aborts");
+        return Err(IoError::RanksFailed(dead));
+    }
 
     if hints.schedule_cache {
         if let Some(s) = derived {
@@ -750,6 +787,7 @@ struct FlexWrite<'a> {
     hints: &'a Hints,
     sched: &'a ExchangeSchedule,
     charge_cycles: bool,
+    crash: Option<&'a mut CrashState>,
 }
 
 impl CycleDriver for FlexWrite<'_> {
@@ -757,6 +795,13 @@ impl CycleDriver for FlexWrite<'_> {
 
     fn n_cycles(&self) -> usize {
         self.sched.cycles.len()
+    }
+
+    fn boundary(&mut self, _i: usize) -> bool {
+        match self.crash.as_deref_mut() {
+            Some(st) => crash_boundary(self.rank, st),
+            None => true,
+        }
     }
 
     fn begin_cycle(&mut self, i: usize) {
@@ -1040,6 +1085,7 @@ struct FlexRead<'a, 'b> {
     hints: &'a Hints,
     sched: &'a ExchangeSchedule,
     charge_cycles: bool,
+    crash: Option<&'a mut CrashState>,
 }
 
 impl CycleDriver for FlexRead<'_, '_> {
@@ -1047,6 +1093,13 @@ impl CycleDriver for FlexRead<'_, '_> {
 
     fn n_cycles(&self) -> usize {
         self.sched.cycles.len()
+    }
+
+    fn boundary(&mut self, _i: usize) -> bool {
+        match self.crash.as_deref_mut() {
+            Some(st) => crash_boundary(self.rank, st),
+            None => true,
+        }
     }
 
     fn begin_cycle(&mut self, i: usize) {

@@ -9,6 +9,7 @@
 pub mod common;
 pub mod flexible;
 pub(crate) mod pipeline;
+pub mod recovery;
 pub mod romio;
 pub mod schedule;
 

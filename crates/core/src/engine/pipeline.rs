@@ -129,6 +129,10 @@ pub(crate) struct StragglerVerdict {
 pub(crate) struct CycleOutcome {
     pub err: Option<PfsError>,
     pub straggler: Option<StragglerVerdict>,
+    /// A [`CycleDriver::boundary`] check failed: the remaining cycles were
+    /// skipped and in-flight I/O drained. The driver knows why (for the
+    /// flexible engine: peers found crash-stopped).
+    pub aborted: bool,
 }
 
 /// Tracks per-aggregator smoothed I/O durations across buffer cycles and
@@ -215,6 +219,16 @@ pub(crate) trait CycleDriver {
     /// Total buffer cycles this collective call runs.
     fn n_cycles(&self) -> usize;
 
+    /// Crash boundary before cycle `i` moves any data: the one place a
+    /// scheduled rank crash may fire and dead peers are detected, so every
+    /// survivor sees the same partial-cycle prefix. Return `false` to
+    /// abort the drive loop — remaining cycles are skipped, in-flight I/O
+    /// is drained, and the outcome comes back with `aborted` set. The
+    /// default (no crash machinery) never aborts.
+    fn boundary(&mut self, _i: usize) -> bool {
+        true
+    }
+
     /// Top-of-cycle accounting before any data moves (e.g. charging the
     /// cycle's derivation pairs). Runs exactly once per cycle, in order,
     /// whatever the pipeline depth.
@@ -273,6 +287,10 @@ pub(crate) fn drive_write<D: CycleDriver>(
     let watching = watch_on(handle, watch);
     let mut detector = StragglerDetector::new(watch.map_or(0, <[usize]>::len));
     for i in 0..driver.n_cycles() {
+        if !driver.boundary(i) {
+            outcome.aborted = true;
+            break;
+        }
         driver.begin_cycle(i);
         let exch_t0 = rank.now();
         let stage = driver.exchange(i, None);
@@ -362,6 +380,10 @@ pub(crate) fn drive_read<D: CycleDriver>(
     let watching = watch_on(handle, watch);
     let mut detector = StragglerDetector::new(watch.map_or(0, <[usize]>::len));
     for i in 0..n {
+        if !driver.boundary(i) {
+            outcome.aborted = true;
+            break;
+        }
         driver.begin_cycle(i);
         let mut cycle_io_ns = 0u64;
         let stage = if q.front().is_some_and(|(c, _, _, _)| *c == i) {
@@ -425,7 +447,15 @@ pub(crate) fn drive_read<D: CycleDriver>(
         driver.exchange(i, stage);
         exch_ns = rank.now().saturating_sub(dist_t0);
     }
-    debug_assert!(q.is_empty(), "a read stage was issued but never distributed");
+    debug_assert!(
+        q.is_empty() || outcome.aborted,
+        "a read stage was issued but never distributed"
+    );
+    // An aborted loop leaves prefetched reads in flight; drain their
+    // windows (guard drops retire them from the handle's inflight tally).
+    for (_, w, _, _guard) in q {
+        rank.overlap_complete(w);
+    }
     outcome
 }
 

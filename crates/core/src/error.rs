@@ -29,6 +29,11 @@ pub enum IoError {
     /// A PFS fault on a path with no retry loop (independent I/O,
     /// close/sync flushes).
     Pfs(PfsError),
+    /// One or more ranks crash-stopped during the collective and
+    /// `flexio_crash_recovery` is disabled (or the caller is observing
+    /// the failure before replay). Carries the world ranks every
+    /// survivor agreed are dead — the same list on every survivor.
+    RanksFailed(Vec<usize>),
 }
 
 impl From<ViewError> for IoError {
@@ -47,6 +52,9 @@ impl std::fmt::Display for IoError {
             IoError::BadHints(s) => write!(f, "bad hints: {s}"),
             IoError::Transient(e) => write!(f, "retries exhausted: {e}"),
             IoError::Pfs(e) => write!(f, "file system error: {e}"),
+            IoError::RanksFailed(dead) => {
+                write!(f, "{} rank(s) crash-stopped: {dead:?}", dead.len())
+            }
         }
     }
 }
@@ -87,5 +95,14 @@ mod tests {
         let src = e.source().expect("wrapped error must be the source");
         assert_eq!(src.downcast_ref::<PfsError>(), Some(&pe));
         assert!(IoError::BadHints("x").source().is_none());
+    }
+
+    #[test]
+    fn ranks_failed_lists_dead_ranks() {
+        use std::error::Error;
+        let e = IoError::RanksFailed(vec![1, 3]);
+        let s = e.to_string();
+        assert!(s.contains("2 rank(s)") && s.contains("[1, 3]"), "{s}");
+        assert!(e.source().is_none(), "no underlying PFS fault for a crash");
     }
 }

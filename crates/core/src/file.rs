@@ -164,16 +164,50 @@ impl<'r> MpiFile<'r> {
         self.run_engine(&acc, &mem, DataBuf::Read(buf))
     }
 
-    fn run_engine(&self, acc: &ClientAccess, mem: &MemLayout, buf: DataBuf<'_>) -> Result<()> {
+    fn run_engine(&self, acc: &ClientAccess, mem: &MemLayout, mut buf: DataBuf<'_>) -> Result<()> {
         match self.hints.engine {
             Engine::Flexible => {
                 let mut pfr = self.pfr_realms.borrow_mut();
                 let mut sched = self.sched_cache.borrow_mut();
-                engine::flexible::run(
-                    self.rank, &self.handle, acc, mem, buf, &self.hints, &mut pfr, &mut sched,
-                )
+                // Under a crash-scheduling fault plan the call runs inside
+                // the recovery loop (entry detection + survivor replay);
+                // without crashes the plain engine path is byte- and
+                // charge-identical to before the crash machinery existed.
+                let crashes =
+                    self.handle.pfs().fault_plan().is_some_and(|p| !p.crashes.is_empty());
+                if crashes {
+                    engine::recovery::run(
+                        self.rank,
+                        &self.handle,
+                        acc,
+                        mem,
+                        &mut buf,
+                        &self.hints,
+                        &mut pfr,
+                        &mut sched,
+                    )
+                } else {
+                    engine::flexible::run(
+                        self.rank,
+                        &self.handle,
+                        acc,
+                        mem,
+                        &mut buf,
+                        &self.hints,
+                        &mut pfr,
+                        &mut sched,
+                    )
+                }
             }
             Engine::Romio => {
+                // The baseline engine has no crash checkpoints or recovery
+                // protocol; running it under a crash schedule would let the
+                // scheduled crashes silently never fire.
+                if self.handle.pfs().fault_plan().is_some_and(|p| !p.crashes.is_empty()) {
+                    return Err(IoError::BadHints(
+                        "crash-stop fault plans require the flexible engine",
+                    ));
+                }
                 engine::romio::run(self.rank, &self.handle, acc, mem, buf, &self.hints)
             }
         }

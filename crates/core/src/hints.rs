@@ -115,6 +115,22 @@ pub struct Hints {
     /// the bytes are identical either way (cycle windows are disjoint per
     /// aggregator), only the virtual timing moves.
     pub sieve_prefetch: bool,
+    /// Survive crash-stopped ranks (`flexio_crash_recovery`): when a rank
+    /// dies mid-collective, survivors agree on the dead set, re-elect
+    /// aggregators and re-partition realms over the shrunk group, and
+    /// replay the interrupted call idempotently. Off (the default) the
+    /// collective terminates with [`IoError::RanksFailed`] on every
+    /// survivor instead of hanging.
+    ///
+    /// [`IoError::RanksFailed`]: crate::error::IoError::RanksFailed
+    pub crash_recovery: bool,
+    /// Failure-detection watchdog, microseconds of virtual time
+    /// (`flexio_watchdog_us`): how long a rank waits at a collective
+    /// boundary for a peer's heartbeat before suspecting it dead. Only
+    /// consulted when the installed fault plan schedules crashes; must
+    /// comfortably exceed per-cycle clock skew between ranks or a slow
+    /// peer is falsely declared dead. Virtual-time cost only.
+    pub watchdog_us: u64,
     /// Engine selection.
     pub engine: Engine,
     /// Custom file-realm assigner; overrides the built-in choice
@@ -139,6 +155,8 @@ impl Default for Hints {
             retry_backoff_us: 100,
             zero_copy: true,
             sieve_prefetch: false,
+            crash_recovery: false,
+            watchdog_us: 200_000,
             engine: Engine::default(),
             realm_assigner: None,
         }
@@ -161,6 +179,8 @@ impl std::fmt::Debug for Hints {
             .field("retry_backoff_us", &self.retry_backoff_us)
             .field("zero_copy", &self.zero_copy)
             .field("sieve_prefetch", &self.sieve_prefetch)
+            .field("crash_recovery", &self.crash_recovery)
+            .field("watchdog_us", &self.watchdog_us)
             .field("engine", &self.engine)
             .field("realm_assigner", &self.realm_assigner.as_ref().map(|_| "custom"))
             .finish()
@@ -193,6 +213,11 @@ impl Hints {
         if self.io_retries > 32 {
             return Err(crate::error::IoError::BadHints(
                 "flexio_io_retries must be at most 32 (the backoff doubles per retry)",
+            ));
+        }
+        if self.watchdog_us == 0 {
+            return Err(crate::error::IoError::BadHints(
+                "flexio_watchdog_us must be nonzero (a zero watchdog suspects every peer)",
             ));
         }
         Ok(())
@@ -297,6 +322,15 @@ mod tests {
         }
         // The boundary case passes: exactly one aggregator per rank.
         Hints { cb_nodes: Some(4), ..Hints::default() }.validate_for(4).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_defaults_and_watchdog_bounds() {
+        let h = Hints::default();
+        assert!(!h.crash_recovery, "recovery must be opt-in");
+        assert!(h.watchdog_us > 0);
+        assert!(Hints { watchdog_us: 0, ..Hints::default() }.validate().is_err());
+        Hints { crash_recovery: true, watchdog_us: 1, ..Hints::default() }.validate().unwrap();
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! | `flexio_retry_backoff_us` | base microseconds of the first retry backoff, doubling per retry, charged in virtual time (flexio extension, default 100) |
 //! | `flexio_zero_copy` | `enable`/`disable` the zero-copy datatype path: borrowed segment runs from user buffers through the exchange and the vectored PFS interface instead of packed staging copies (flexio extension, default enable; disable reproduces the packed path byte- and charge-identically) |
 //! | `flexio_sieve_prefetch` | `enable`/`disable` prefetching the ROMIO engine's data-sieving RMW pre-read one pipeline cycle ahead (flexio extension, default disable) |
+//! | `flexio_crash_recovery` | `enable`/`disable` surviving crash-stopped ranks: agree on the dead set, re-elect aggregators over survivors, replay the interrupted call (flexio extension, default disable; disabled, a crash terminates the collective with a collectively agreed error) |
+//! | `flexio_watchdog_us` | failure-detection watchdog in virtual microseconds: heartbeat wait at collective boundaries before suspecting a peer dead (flexio extension, default 200000; must exceed per-cycle clock skew) |
 //!
 //! Unknown keys are ignored, as MPI requires.
 
@@ -138,6 +140,20 @@ pub fn hints_from_info(base: Hints, info: &[(&str, &str)]) -> Result<Hints> {
                         return Err(IoError::BadHints("flexio_sieve_prefetch takes enable/disable"))
                     }
                 };
+            }
+            "flexio_crash_recovery" => {
+                h.crash_recovery = match value {
+                    "enable" | "true" => true,
+                    "disable" | "false" => false,
+                    _ => {
+                        return Err(IoError::BadHints("flexio_crash_recovery takes enable/disable"))
+                    }
+                };
+            }
+            "flexio_watchdog_us" => {
+                h.watchdog_us = value
+                    .parse()
+                    .map_err(|_| IoError::BadHints("flexio_watchdog_us must be an integer"))?;
             }
             "flexio_io_retries" => {
                 h.io_retries = value
@@ -289,6 +305,24 @@ mod tests {
         let h = hints_from_info(h, &[("flexio_sieve_prefetch", "disable")]).unwrap();
         assert!(!h.sieve_prefetch);
         assert!(hints_from_info(Hints::default(), &[("flexio_sieve_prefetch", "soon")]).is_err());
+    }
+
+    #[test]
+    fn crash_recovery_keys() {
+        assert!(!Hints::default().crash_recovery);
+        let h = hints_from_info(
+            Hints::default(),
+            &[("flexio_crash_recovery", "enable"), ("flexio_watchdog_us", "5000")],
+        )
+        .unwrap();
+        assert!(h.crash_recovery);
+        assert_eq!(h.watchdog_us, 5000);
+        let h = hints_from_info(h, &[("flexio_crash_recovery", "disable")]).unwrap();
+        assert!(!h.crash_recovery);
+        assert!(hints_from_info(Hints::default(), &[("flexio_crash_recovery", "maybe")]).is_err());
+        assert!(hints_from_info(Hints::default(), &[("flexio_watchdog_us", "soon")]).is_err());
+        // Zero watchdog is caught by Hints::validate at the end of parsing.
+        assert!(hints_from_info(Hints::default(), &[("flexio_watchdog_us", "0")]).is_err());
     }
 
     #[test]

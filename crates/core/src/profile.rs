@@ -42,6 +42,9 @@ pub struct Profile {
     pub degraded_cycles_total: u64,
     /// Total persistent-file-realm rebalances away from stragglers.
     pub realms_rebalanced_total: u64,
+    /// Total crash-stopped peers agreed dead and recovered past across
+    /// ranks (each survivor counts every dead peer of every recovery).
+    pub ranks_recovered_total: u64,
 }
 
 impl Profile {
@@ -64,6 +67,7 @@ impl Profile {
             p.io_retries_total += s.io_retries;
             p.degraded_cycles_total += s.degraded_cycles;
             p.realms_rebalanced_total += s.realms_rebalanced;
+            p.ranks_recovered_total += s.ranks_recovered;
         }
         p
     }
@@ -94,6 +98,7 @@ impl Profile {
                 io_retries: a.io_retries - b.io_retries,
                 degraded_cycles: a.degraded_cycles - b.degraded_cycles,
                 realms_rebalanced: a.realms_rebalanced - b.realms_rebalanced,
+                ranks_recovered: a.ranks_recovered - b.ranks_recovered,
                 phase_ns: [
                     a.phase_ns[0] - b.phase_ns[0],
                     a.phase_ns[1] - b.phase_ns[1],

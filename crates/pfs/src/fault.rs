@@ -19,6 +19,12 @@ pub enum PfsErrorKind {
     /// A transient per-request OST error (dropped RPC, brief target
     /// failover): the request moved no data and may be retried.
     TransientOst,
+    /// A torn write: the OST persisted only a prefix of the request
+    /// before failing it (client crash mid-RPC, target power loss). A
+    /// retry — a full idempotent rewrite — heals the tear; a crash before
+    /// the retry leaves the prefix on disk, which is exactly what the
+    /// epoch-commit protocol ([`crate::epoch`]) exists to mask.
+    TornWrite,
 }
 
 /// An injected PFS failure, surfaced by fallible [`crate::FileHandle`]
@@ -38,6 +44,9 @@ impl std::fmt::Display for PfsError {
         match self.kind {
             PfsErrorKind::TransientOst => {
                 write!(f, "transient error from OST {} at t={} ns", self.ost, self.at)
+            }
+            PfsErrorKind::TornWrite => {
+                write!(f, "torn write on OST {} at t={} ns (prefix persisted)", self.ost, self.at)
             }
         }
     }
@@ -63,6 +72,19 @@ pub struct StragglerSpec {
     pub until_ns: u64,
 }
 
+/// A seeded crash-stop event: kill `rank` at its first crash checkpoint
+/// at or past `at_ns` of virtual time. The sim layer enforces it
+/// (`flexio_sim::run_crashable` + `Rank::maybe_crash`); the plan carries
+/// it so one seeded description names everything that goes wrong in a
+/// run, and so engines can see whether crash recovery must be armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// World-frame rank to kill.
+    pub rank: usize,
+    /// Virtual time (ns) past which the rank's next checkpoint is fatal.
+    pub at_ns: u64,
+}
+
 /// Seeded description of the faults to inject. An empty default plan
 /// injects nothing (and [`crate::Pfs::new`] doesn't even install one, so
 /// the fault-free fast path stays charge-identical).
@@ -73,16 +95,30 @@ pub struct FaultPlan {
     /// Probability in `[0, 1]` that any one OST request fails
     /// transiently.
     pub transient_rate: f64,
+    /// Probability in `[0, 1]` that a write request tears: a
+    /// deterministically drawn prefix persists, the request fails with
+    /// [`PfsErrorKind::TornWrite`].
+    pub torn_rate: f64,
     /// Straggler OST windows.
     pub stragglers: Vec<StragglerSpec>,
     /// Extra lock-manager stall charged on each lock grant, ns (models a
     /// congested DLM); 0 disables.
     pub lock_stall_ns: u64,
+    /// Crash-stop rank failures (enforced by the sim layer; carried here
+    /// so engines know recovery must be armed).
+    pub crashes: Vec<CrashSpec>,
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
-        FaultPlan { seed: 1, transient_rate: 0.0, stragglers: Vec::new(), lock_stall_ns: 0 }
+        FaultPlan {
+            seed: 1,
+            transient_rate: 0.0,
+            torn_rate: 0.0,
+            stragglers: Vec::new(),
+            lock_stall_ns: 0,
+            crashes: Vec::new(),
+        }
     }
 }
 
@@ -99,6 +135,17 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// A plan with a single crash-stop rank failure.
+    pub fn crash(rank: usize, at_ns: u64) -> FaultPlan {
+        FaultPlan { crashes: vec![CrashSpec { rank, at_ns }], ..FaultPlan::default() }
+    }
+
+    /// The sim-layer crash schedule this plan implies, in
+    /// `flexio_sim::run_crashable` form.
+    pub fn crash_schedule(&self) -> Vec<(usize, u64)> {
+        self.crashes.iter().map(|c| (c.rank, c.at_ns)).collect()
+    }
 }
 
 /// Runtime state evaluating a [`FaultPlan`]: per-OST request counters
@@ -108,8 +155,13 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Transient-rate threshold scaled to u64 space.
     threshold: u64,
+    /// Torn-write-rate threshold scaled to u64 space.
+    torn_threshold: u64,
     /// Per-OST count of requests seen, indexing the decision hash.
     req_counts: Vec<AtomicU64>,
+    /// Per-OST count of torn-write rolls — a separate stream so adding
+    /// `torn_rate` to a plan never perturbs the transient decisions.
+    torn_counts: Vec<AtomicU64>,
 }
 
 /// One round of the splitmix64 finalizer — a strong 64-bit mix used to
@@ -129,20 +181,25 @@ impl FaultInjector {
             (0.0..=1.0).contains(&plan.transient_rate),
             "transient_rate must be in [0, 1]"
         );
+        assert!((0.0..=1.0).contains(&plan.torn_rate), "torn_rate must be in [0, 1]");
         for s in &plan.stragglers {
             assert!(s.ost < n_osts, "straggler OST {} out of range", s.ost);
             assert!(s.multiplier >= 1.0, "straggler multiplier must be >= 1");
         }
-        let threshold = if plan.transient_rate >= 1.0 {
-            u64::MAX
-        } else {
-            (plan.transient_rate * u64::MAX as f64) as u64
+        let to_threshold = |rate: f64| {
+            if rate >= 1.0 {
+                u64::MAX
+            } else {
+                (rate * u64::MAX as f64) as u64
+            }
         };
         let seed = if plan.seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { plan.seed };
         FaultInjector {
-            plan: FaultPlan { seed, ..plan },
-            threshold,
+            threshold: to_threshold(plan.transient_rate),
+            torn_threshold: to_threshold(plan.torn_rate),
             req_counts: (0..n_osts).map(|_| AtomicU64::new(0)).collect(),
+            torn_counts: (0..n_osts).map(|_| AtomicU64::new(0)).collect(),
+            plan: FaultPlan { seed, ..plan },
         }
     }
 
@@ -166,16 +223,41 @@ impl FaultInjector {
         h < self.threshold
     }
 
+    /// Decide whether the next write on `ost` tears, and if so how much
+    /// of it persists: returns the surviving prefix fraction in
+    /// `[0, 1)`. A separate decision stream from [`roll_transient`], so
+    /// plans that add tearing reproduce their transient faults exactly.
+    ///
+    /// [`roll_transient`]: FaultInjector::roll_transient
+    pub fn roll_torn(&self, ost: usize) -> Option<f64> {
+        if self.plan.torn_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.torn_counts[ost].fetch_add(1, Ordering::Relaxed);
+        // Distinct salt (the leading xor) keeps this stream independent
+        // of the transient one at the same (seed, ost, idx).
+        let h = mix64(self.plan.seed ^ 0x7065 ^ mix64(ost as u64 + 1).wrapping_add(mix64(idx)));
+        if self.plan.torn_rate < 1.0 && h >= self.torn_threshold {
+            return None;
+        }
+        // Re-mix for the prefix draw so it's independent of the fire/no-
+        // fire decision.
+        Some((mix64(h) >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
     /// Extra service ns for a request of duration `dur` starting at
     /// virtual time `start` on `ost` (0 outside any straggler window).
+    /// Overlapping windows on one OST do not stack: the request observes
+    /// the *worst* covering multiplier — a degraded target is one device
+    /// with one (slowest) service rate, not several penalties in series.
     pub fn straggler_extra(&self, ost: usize, start: u64, dur: u64) -> u64 {
-        let mut extra = 0u64;
+        let mut worst = 1.0f64;
         for s in &self.plan.stragglers {
             if s.ost == ost && start >= s.from_ns && start < s.until_ns {
-                extra += ((s.multiplier - 1.0) * dur as f64) as u64;
+                worst = worst.max(s.multiplier);
             }
         }
-        extra
+        ((worst - 1.0) * dur as f64) as u64
     }
 
     /// Extra lock-manager stall on a grant, ns.
@@ -266,5 +348,103 @@ mod tests {
         let e = PfsError { kind: PfsErrorKind::TransientOst, ost: 3, at: 42 };
         let s = e.to_string();
         assert!(s.contains("OST 3") && s.contains("42"), "{s}");
+        let t = PfsError { kind: PfsErrorKind::TornWrite, ost: 1, at: 9 }.to_string();
+        assert!(t.contains("torn") && t.contains("OST 1"), "{t}");
+    }
+
+    /// Overlapping windows on one OST observe the worst multiplier, not
+    /// the sum of penalties: two 3× windows are a 3× device, not 5×.
+    #[test]
+    fn overlapping_straggler_windows_take_max_not_sum() {
+        let win = |multiplier, from_ns, until_ns| StragglerSpec {
+            ost: 0,
+            multiplier,
+            from_ns,
+            until_ns,
+        };
+        let inj = FaultInjector::new(
+            FaultPlan {
+                stragglers: vec![win(3.0, 0, 1000), win(3.0, 500, 2000), win(2.0, 0, 2000)],
+                ..FaultPlan::default()
+            },
+            1,
+        );
+        // t=700 is inside all three windows: worst is 3x => extra 2*dur.
+        assert_eq!(inj.straggler_extra(0, 700, 100), 200, "max, not sum");
+        // t=1500 is covered by the 3x and 2x windows only: still 3x.
+        assert_eq!(inj.straggler_extra(0, 1500, 100), 200);
+        // t=100 is covered by 3x and 2x.
+        assert_eq!(inj.straggler_extra(0, 100, 100), 200);
+    }
+
+    #[test]
+    fn torn_zero_rate_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::default(), 2);
+        for _ in 0..500 {
+            assert!(inj.roll_torn(0).is_none());
+        }
+    }
+
+    #[test]
+    fn torn_full_rate_always_fires_with_valid_fraction() {
+        let inj = FaultInjector::new(
+            FaultPlan { seed: 11, torn_rate: 1.0, ..FaultPlan::default() },
+            2,
+        );
+        for _ in 0..200 {
+            let frac = inj.roll_torn(1).expect("rate 1.0 must always tear");
+            assert!((0.0..1.0).contains(&frac), "prefix fraction {frac} out of range");
+        }
+    }
+
+    #[test]
+    fn torn_rate_roughly_respected_and_deterministic() {
+        let draws = |seed| {
+            let inj = FaultInjector::new(
+                FaultPlan { seed, torn_rate: 0.25, ..FaultPlan::default() },
+                1,
+            );
+            (0..4000).filter_map(|_| inj.roll_torn(0)).collect::<Vec<f64>>()
+        };
+        let d = draws(42);
+        assert!((700..1300).contains(&d.len()), "0.25 rate fired {}/4000 times", d.len());
+        assert_eq!(d, draws(42), "same seed must reproduce the same tears");
+        assert_ne!(d, draws(43));
+    }
+
+    /// The torn stream is independent: adding `torn_rate` to a plan must
+    /// not change which requests fail transiently.
+    #[test]
+    fn torn_stream_does_not_perturb_transient_stream() {
+        let transients = |torn_rate| {
+            let inj = FaultInjector::new(
+                FaultPlan { seed: 5, transient_rate: 0.3, torn_rate, ..FaultPlan::default() },
+                1,
+            );
+            (0..1000)
+                .map(|_| {
+                    let _ = inj.roll_torn(0); // interleave the streams
+                    inj.roll_transient(0)
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(transients(0.0), transients(0.5));
+    }
+
+    #[test]
+    fn crash_plan_round_trips_to_sim_schedule() {
+        let plan = FaultPlan::crash(3, 1_000_000);
+        assert_eq!(plan.crashes, vec![CrashSpec { rank: 3, at_ns: 1_000_000 }]);
+        assert_eq!(plan.crash_schedule(), vec![(3, 1_000_000)]);
+        assert!(FaultPlan::default().crash_schedule().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "torn_rate")]
+    fn bad_torn_rate_rejected() {
+        FaultInjector::new(
+            FaultPlan { torn_rate: -0.1, ..FaultPlan::default() },
+            1,
+        );
     }
 }

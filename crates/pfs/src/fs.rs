@@ -42,6 +42,8 @@ pub struct PfsStats {
     pub nb_inflight_peak: AtomicU64,
     /// Transient OST request errors injected by the fault plan.
     pub faults_injected: AtomicU64,
+    /// Torn writes injected by the fault plan (prefix persisted).
+    pub torn_writes: AtomicU64,
     /// Extra service ns charged by straggler-OST windows.
     pub straggler_ns: AtomicU64,
 }
@@ -71,6 +73,8 @@ pub struct StatsSnapshot {
     pub nb_inflight_peak: u64,
     /// Transient OST request errors injected by the fault plan.
     pub faults_injected: u64,
+    /// Torn writes injected by the fault plan (prefix persisted).
+    pub torn_writes: u64,
     /// Extra service ns charged by straggler-OST windows.
     pub straggler_ns: u64,
 }
@@ -198,6 +202,7 @@ impl Pfs {
             cache_fills: s.cache_fills.load(Ordering::SeqCst),
             nb_inflight_peak: s.nb_inflight_peak.load(Ordering::SeqCst),
             faults_injected: s.faults_injected.load(Ordering::SeqCst),
+            torn_writes: s.torn_writes.load(Ordering::SeqCst),
             straggler_ns: s.straggler_ns.load(Ordering::SeqCst),
         }
     }
@@ -599,6 +604,28 @@ impl FileHandle {
             }
         } else {
             let res = self.pfs.raw_io(&self.file, t, off, data.len() as u64, true);
+            // Torn-write injection applies to the direct (uncached) write
+            // path only — the path durable collective data and epoch
+            // headers take. Cached writes land in volatile client memory
+            // where tearing has no durable meaning (coherence flushes are
+            // lock-manager traffic, retried internally). On a tear the OST
+            // persisted a deterministically drawn prefix and failed the
+            // request: a full rewrite of the same range is the idempotent
+            // heal. The OST index reported is the request's first stripe
+            // chunk.
+            if let Some(inj) = &self.pfs.fault {
+                let ost = self.pfs.cfg.ost_of(off);
+                if let Some(frac) = inj.roll_torn(ost) {
+                    let keep = (data.len() as f64 * frac) as usize;
+                    self.pfs.store(&self.file, off, &data[..keep]);
+                    self.pfs.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+                    let at = match &res {
+                        Ok(fin) => t.max(*fin),
+                        Err(e) => t.max(e.at),
+                    };
+                    return Err(PfsError { kind: PfsErrorKind::TornWrite, ost, at });
+                }
+            }
             self.pfs.store(&self.file, off, data);
             res.map(|fin| t.max(fin))
         }
@@ -1223,6 +1250,60 @@ mod tests {
         let done = op.done_at();
         let err = op.wait(0).unwrap_err();
         assert_eq!(err.at, done, "wait surfaces the fault at completion time");
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let pfs = Pfs::with_faults(
+            PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() },
+            FaultPlan { seed: 9, torn_rate: 1.0, ..FaultPlan::default() },
+        );
+        let h = pfs.open("f", 0);
+        let data: Vec<u8> = (1..=40).collect();
+        let err = h.write(0, 0, &data).unwrap_err();
+        assert_eq!(err.kind, crate::fault::PfsErrorKind::TornWrite);
+        assert!(err.at > 0, "error carries the op's completion time");
+        assert_eq!(pfs.stats().torn_writes, 1);
+        // Only a strict prefix landed: file size tells us how much.
+        let keep = h.size() as usize;
+        assert!(keep < data.len(), "a torn write must not persist fully");
+        let mut buf = vec![0u8; data.len()];
+        // Reads don't tear; rate-1.0 torn plans leave reads fault-free.
+        h.read(err.at, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..keep], &data[..keep]);
+        assert_eq!(&buf[keep..], &vec![0u8; data.len() - keep][..], "suffix must be unwritten");
+    }
+
+    #[test]
+    fn torn_write_heals_on_retry() {
+        // With a sub-1.0 rate the torn stream is deterministic per request
+        // index, so retrying the identical write eventually persists it in
+        // full — the idempotent-heal contract the engine retry loop needs.
+        let pfs = Pfs::with_faults(
+            PfsConfig { cost: PfsCostModel::default(), ..PfsConfig::test_tiny() },
+            FaultPlan { seed: 3, torn_rate: 0.5, ..FaultPlan::default() },
+        );
+        let h = pfs.open("f", 0);
+        let data: Vec<u8> = (0..100u32).map(|i| (i % 251) as u8 + 1).collect();
+        let mut t = 0u64;
+        let mut tears = 0;
+        let healed = (0..20).any(|_| match h.write(t, 0, &data) {
+            Ok(fin) => {
+                t = fin;
+                true
+            }
+            Err(e) => {
+                assert_eq!(e.kind, crate::fault::PfsErrorKind::TornWrite);
+                tears += 1;
+                t = e.at;
+                false
+            }
+        });
+        assert!(healed, "20 retries at rate 0.5 should heal (seeded, deterministic)");
+        let mut buf = vec![0u8; data.len()];
+        h.read(t, 0, &mut buf).unwrap();
+        assert_eq!(buf, data, "full rewrite must heal the tear");
+        assert_eq!(pfs.stats().torn_writes, tears);
     }
 
     #[test]

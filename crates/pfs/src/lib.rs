@@ -32,6 +32,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod epoch;
 pub mod extent;
 pub mod fault;
 pub mod fs;
@@ -40,7 +41,7 @@ pub mod lock;
 pub use cache::{ClientCache, DirtyRun};
 pub use config::{PfsConfig, PfsCostModel};
 pub use extent::ExtentSet;
-pub use fault::{FaultInjector, FaultPlan, PfsError, PfsErrorKind, StragglerSpec};
+pub use fault::{CrashSpec, FaultInjector, FaultPlan, PfsError, PfsErrorKind, StragglerSpec};
 pub use fs::{FileHandle, FileObj, NbGuard, NbOp, Pfs, PfsStats, StatsSnapshot};
 pub use lock::{Acquire, LockTable};
 

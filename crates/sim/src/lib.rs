@@ -45,6 +45,15 @@ mod sched {
     use crate::world::{Msg, World};
     use std::sync::Arc;
 
+    pub(crate) enum ParkWake {
+        #[allow(dead_code)]
+        Delivered(Msg),
+        #[allow(dead_code)]
+        Spurious,
+        #[allow(dead_code)]
+        TimedOut,
+    }
+
     pub(crate) fn event_loop_active_for(_world: &World) -> bool {
         false
     }
@@ -55,7 +64,8 @@ mod sched {
         _src: usize,
         _tag: u64,
         _now: u64,
-    ) -> Option<Msg> {
+        _deadline: Option<u64>,
+    ) -> ParkWake {
         unreachable!("event-loop backend unsupported on this architecture")
     }
 
@@ -76,12 +86,20 @@ mod sched {
     {
         unreachable!("event-loop backend unsupported on this architecture")
     }
+
+    pub(crate) fn run_event_loop_partial<R, F>(_world: Arc<World>, _f: F) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
+        unreachable!("event-loop backend unsupported on this architecture")
+    }
 }
 
 pub use cost::CostModel;
 pub use prng::XorShift64Star;
 pub use rank::{OverlapWindow, Phase, Rank, RecvReq, Stats};
-pub use world::{run, run_on, Backend, World};
+pub use world::{run, run_crashable, run_on, Backend, World};
 
 #[cfg(all(test, feature = "proptests"))]
 mod proptests {

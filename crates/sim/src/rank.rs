@@ -12,6 +12,7 @@
 use crate::cost::CostModel;
 use crate::world::{Msg, World};
 use std::cell::Cell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Tag space reserved for internal collective traffic.
@@ -84,6 +85,9 @@ pub struct Stats {
     /// Times the flexible engine rebalanced persistent file realms away
     /// from a straggling aggregator for subsequent collective calls.
     pub realms_rebalanced: u64,
+    /// Crash-stopped peers this rank agreed dead and recovered past
+    /// (collective membership shrink + replay; [`Rank::note_ranks_recovered`]).
+    pub ranks_recovered: u64,
 }
 
 impl Stats {
@@ -95,13 +99,22 @@ impl Stats {
     }
 }
 
-/// A handle to one simulated MPI rank.
+/// A handle to one simulated MPI rank — either the world communicator or
+/// a sub-communicator made with [`Rank::subgroup`]. Group handles share
+/// the clock, collective sequence, and counters of the rank they were
+/// split from (`Rc`), so a collective run over a subgroup charges the
+/// same physical rank; only the id frame changes.
 pub struct Rank {
     world: Arc<World>,
+    /// World-frame id: mailbox identity and scheduler slot.
+    global: usize,
+    /// Group-relative id (equals `global` on the world communicator).
     rank: usize,
-    clock: Cell<u64>,
-    seq: Cell<u64>,
-    stats: std::cell::RefCell<Stats>,
+    /// Sorted world-frame ids of the group (`None` = whole world).
+    group: Option<Arc<Vec<usize>>>,
+    clock: Rc<Cell<u64>>,
+    seq: Rc<Cell<u64>>,
+    stats: Rc<std::cell::RefCell<Stats>>,
 }
 
 /// Handle for a posted non-blocking receive.
@@ -143,17 +156,84 @@ impl OverlapWindow {
 
 impl Rank {
     pub(crate) fn new(world: Arc<World>, rank: usize) -> Self {
-        Rank { world, rank, clock: Cell::new(0), seq: Cell::new(0), stats: Default::default() }
+        Rank {
+            world,
+            global: rank,
+            rank,
+            group: None,
+            clock: Rc::new(Cell::new(0)),
+            seq: Rc::new(Cell::new(0)),
+            stats: Default::default(),
+        }
     }
 
-    /// This rank's id.
+    /// This rank's id in its communicator (group-relative for a
+    /// [`Rank::subgroup`] handle).
     pub fn rank(&self) -> usize {
         self.rank
     }
 
-    /// Number of ranks in the world.
+    /// Number of ranks in this communicator.
     pub fn nprocs(&self) -> usize {
-        self.world.nprocs()
+        match &self.group {
+            None => self.world.nprocs(),
+            Some(g) => g.len(),
+        }
+    }
+
+    /// Translate a communicator-relative id to its world-frame id.
+    fn global_of(&self, r: usize) -> usize {
+        match &self.group {
+            None => r,
+            Some(g) => g[r],
+        }
+    }
+
+    /// Split off a sub-communicator over `members` (ids relative to THIS
+    /// handle's frame, strictly ascending, containing the caller). The
+    /// returned handle shares this rank's clock, sequence, and counters;
+    /// its `rank()`/`nprocs()` are group-relative, so collectives — and
+    /// whole engines — run over the subgroup unchanged. This is how
+    /// survivors re-form the world after agreeing a peer is dead:
+    /// aggregator re-election and realm re-partition fall out of
+    /// re-deriving schedules over the shrunk `nprocs()`.
+    pub fn subgroup(&self, members: &[usize]) -> Rank {
+        assert!(!members.is_empty(), "subgroup needs at least one member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "subgroup members must be strictly ascending"
+        );
+        let globals: Vec<usize> = members.iter().map(|&m| self.global_of(m)).collect();
+        let rank = globals
+            .iter()
+            .position(|&g| g == self.global)
+            .expect("subgroup must contain the calling rank");
+        Rank {
+            world: Arc::clone(&self.world),
+            global: self.global,
+            rank,
+            group: Some(Arc::new(globals)),
+            clock: Rc::clone(&self.clock),
+            seq: Rc::clone(&self.seq),
+            stats: Rc::clone(&self.stats),
+        }
+    }
+
+    /// Crash checkpoint: if this rank's scheduled crash time (see
+    /// [`crate::world::run_crashable`]) has been reached, the rank
+    /// crash-stops — its fiber unwinds (running destructors, releasing
+    /// nb-op guards), its mailbox is reaped, and it never communicates
+    /// again. Call at points where dying is survivable for the rest of
+    /// the world, i.e. *between* collectives, never inside one.
+    pub fn maybe_crash(&self) {
+        if self.now() >= self.world.crash_time(self.global) && !self.world.is_dead(self.global) {
+            std::panic::panic_any(crate::world::CrashStop);
+        }
+    }
+
+    /// Whether this rank has a crash scheduled at any time (dead or not).
+    pub fn crash_scheduled(&self) -> bool {
+        self.world.crash_time(self.global) != u64::MAX
     }
 
     /// The world's cost model.
@@ -302,6 +382,11 @@ impl Rank {
         self.stats.borrow_mut().realms_rebalanced += 1;
     }
 
+    /// Record `n` crash-stopped peers agreed dead and recovered past.
+    pub fn note_ranks_recovered(&self, n: u64) {
+        self.stats.borrow_mut().ranks_recovered += n;
+    }
+
     /// Record a flatten-cache probe outcome.
     pub fn note_flatten_cache(&self, hit: bool) {
         let mut s = self.stats.borrow_mut();
@@ -336,7 +421,10 @@ impl Rank {
             s.bytes_sent += data.len() as u64;
             s.phase_ns[Phase::Comm as usize] += c.send_overhead_ns;
         }
-        self.world.deliver(dst, self.rank, tag, Msg { data: data.to_vec(), avail_at });
+        // Mailbox identity is world-frame: group ids translate here and in
+        // `recv_tagged`, nowhere else.
+        self.world
+            .deliver(self.global_of(dst), self.global, tag, Msg { data: data.to_vec(), avail_at });
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
@@ -346,12 +434,35 @@ impl Rank {
     }
 
     fn recv_tagged(&self, src: usize, tag: u64) -> Vec<u8> {
-        let m = self.world.take(self.rank, src, tag, self.now());
+        let m = self.world.take(self.global, self.global_of(src), tag, self.now());
         let before = self.now();
         self.advance_to(m.avail_at);
         self.advance(self.cost().recv_overhead_ns);
         self.stats.borrow_mut().phase_ns[Phase::Comm as usize] += self.now() - before;
         m.data
+    }
+
+    /// Blocking receive with a virtual-time watchdog: returns `None` when
+    /// no matching message has arrived by `deadline` (absolute virtual
+    /// ns), advancing the clock to the deadline — the timed-out wait was
+    /// real (Comm) time. The timer is a deterministic scheduler event, so
+    /// a timeout is as reproducible as a delivery. Event-loop backend
+    /// only; this is the primitive under crash-stop failure detection.
+    pub fn recv_timeout(&self, src: usize, tag: u64, deadline: u64) -> Option<Vec<u8>> {
+        let before = self.now();
+        match self.world.take_deadline(self.global, self.global_of(src), tag, before, deadline) {
+            Some(m) => {
+                self.advance_to(m.avail_at);
+                self.advance(self.cost().recv_overhead_ns);
+                self.stats.borrow_mut().phase_ns[Phase::Comm as usize] += self.now() - before;
+                Some(m.data)
+            }
+            None => {
+                self.advance_to(deadline);
+                self.stats.borrow_mut().phase_ns[Phase::Comm as usize] += self.now() - before;
+                None
+            }
+        }
     }
 
     /// Post a non-blocking receive; complete it with [`Rank::wait`].
@@ -1104,6 +1215,61 @@ mod tests {
             (r.now(), r.stats().pairs_processed)
         });
         assert_eq!(out[0], (120_000, 1000));
+    }
+
+    #[test]
+    fn subgroup_collectives_translate_ids() {
+        // World of 4; ranks {0, 2, 3} form a subgroup and run collectives
+        // over it while rank 1 sits out. Group-relative ids drive the
+        // algorithms; only the mailbox identity stays world-frame.
+        let out = run(4, CostModel::default(), |r| {
+            if r.rank() == 1 {
+                return (usize::MAX, Vec::new(), 0);
+            }
+            let comm = r.subgroup(&[0, 2, 3]);
+            let gathered = comm.allgatherv(&[r.rank() as u8]);
+            comm.barrier();
+            let sum = comm.allreduce_sum(r.rank() as u64);
+            (comm.rank(), gathered.concat(), sum)
+        });
+        for (i, world_rank) in [(0usize, 0usize), (1, 2), (2, 3)] {
+            let (grank, gathered, sum) = &out[world_rank];
+            assert_eq!(*grank, i, "group-relative id");
+            assert_eq!(gathered, &vec![0u8, 2, 3], "allgatherv over the subgroup");
+            assert_eq!(*sum, 5, "allreduce over the subgroup");
+        }
+    }
+
+    #[test]
+    fn nested_subgroup_translates_through_frames() {
+        // A subgroup of a subgroup: member ids are relative to the parent
+        // frame, so [0, 2] of {0, 2, 3} is world ranks {0, 3}.
+        let out = run(4, CostModel::free(), |r| {
+            if r.rank() == 1 || r.rank() == 2 {
+                return 0;
+            }
+            let mid = r.subgroup(&[0, 2, 3]); // needs all three present? no:
+            // only the *members of the inner group* communicate below.
+            let inner = mid.subgroup(&[0, 2]);
+            inner.allreduce_sum(r.rank() as u64)
+        });
+        assert_eq!(out[0], 3);
+        assert_eq!(out[3], 3);
+    }
+
+    #[test]
+    fn subgroup_shares_clock_and_stats() {
+        let out = run(2, CostModel::default(), |r| {
+            let comm = r.subgroup(&[0, 1]);
+            comm.barrier();
+            assert_eq!(comm.now(), r.now(), "clock is shared");
+            r.charge_pairs(10);
+            (r.now(), comm.stats().pairs_processed)
+        });
+        for (now, pairs) in out {
+            assert!(now > 0);
+            assert_eq!(pairs, 10, "stats are shared across group handles");
+        }
     }
 
     #[test]

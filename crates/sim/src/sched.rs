@@ -46,6 +46,22 @@ const DEFAULT_STACK_BYTES: usize = 1 << 20;
 /// destructors) when another rank has panicked or the world deadlocked.
 struct ForcedUnwind;
 
+/// Heap-entry discriminant for wake entries (initial starts and handoff
+/// resumes). Timer entries carry the park generation instead, which a
+/// per-park increment keeps strictly below this.
+const WAKE_ENTRY: u64 = u64::MAX;
+
+/// How a park ended, as seen by `World::take`/`take_deadline`.
+pub(crate) enum ParkWake {
+    /// A delivery matching `(src, tag)` was handed directly to the parked
+    /// receiver (the common case).
+    Delivered(Msg),
+    /// Resumed without a message; the caller re-checks its queue.
+    Spurious,
+    /// The park's virtual-time deadline fired with no delivery.
+    TimedOut,
+}
+
 /// A rank parked in `World::take`: what it waits for and the virtual
 /// clock it parked at (its wake-up priority).
 #[derive(Clone, Copy)]
@@ -53,6 +69,9 @@ struct ParkedRecv {
     src: usize,
     tag: u64,
     clock: u64,
+    /// This park's generation: a stale timer entry (from an earlier park
+    /// of the same rank) no longer matches and is skipped on pop.
+    gen: u64,
 }
 
 struct FiberSlot {
@@ -75,10 +94,20 @@ struct EventLoop {
     live: usize,
     unwinding: bool,
     panic_payload: Option<Box<dyn Any + Send>>,
-    /// Runnable ranks, ordered by (virtual clock, rank id) ascending.
-    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Runnable ranks and pending park timers, ordered by (virtual time,
+    /// rank id) ascending. The third element distinguishes wake entries
+    /// (`WAKE_ENTRY`) from timer entries (the park's generation); at an
+    /// equal `(time, rank)` the timer pops first and is discarded as
+    /// stale if the handoff already cleared the park.
+    ready: BinaryHeap<Reverse<(u64, usize, u64)>>,
     /// Per-rank park state; `Some` while blocked in `World::take`.
     waiting: Vec<Option<ParkedRecv>>,
+    /// Per-rank park generation counter (see [`ParkedRecv::gen`]).
+    park_seq: Vec<u64>,
+    /// Set when a park's deadline fired; consumed by the resumed fiber.
+    timed_out: Vec<bool>,
+    /// Ranks that crash-stopped ([`crate::world::CrashStop`]).
+    crashed: usize,
     /// Direct-handoff slot per rank: a delivery matching a parked
     /// receiver's `(src, tag)` lands here, bypassing the mailbox map and
     /// its lock entirely (single host thread, so the queue is provably
@@ -110,18 +139,21 @@ pub(crate) fn event_loop_active_for(world: &World) -> bool {
     !el.is_null() && std::ptr::eq(unsafe { (*el).world }, world)
 }
 
-/// Park the current rank until a message for `(src, tag)` is delivered.
-/// Called by `World::take` after finding the queue empty; `now` is the
-/// rank's virtual clock, which becomes its wake-up priority. Returns the
-/// message when the wake-up came from a direct handoff (the common case —
-/// see [`try_handoff`]); `None` sends the caller back to the queue.
+/// Park the current rank until a message for `(src, tag)` is delivered,
+/// or — when `deadline` (absolute virtual ns) is given — until that much
+/// virtual time passes with no delivery. Called by `World::take`/
+/// `take_deadline` after finding the queue empty; `now` is the rank's
+/// virtual clock, which becomes its wake-up priority. The deadline is a
+/// heap timer entry ordered with every other wake-up, so timeouts are as
+/// deterministic as deliveries.
 pub(crate) fn park_for_recv(
     world: &World,
     dst: usize,
     src: usize,
     tag: u64,
     now: u64,
-) -> Option<Msg> {
+    deadline: Option<u64>,
+) -> ParkWake {
     let el = ACTIVE.with(|a| a.get());
     assert!(
         !el.is_null() && std::ptr::eq(unsafe { (*el).world }, world),
@@ -137,19 +169,31 @@ pub(crate) fn park_for_recv(
             panic_any(ForcedUnwind);
         }
         debug_assert_eq!(el.current, dst, "a rank may only take from its own mailbox");
-        el.waiting[dst] = Some(ParkedRecv { src, tag, clock: now });
+        el.park_seq[dst] += 1;
+        let gen = el.park_seq[dst];
+        el.waiting[dst] = Some(ParkedRecv { src, tag, clock: now, gen });
+        if let Some(d) = deadline {
+            el.ready.push(Reverse((d.max(now), dst, gen)));
+        }
         (&mut el.slots[dst].ctx as *mut Context, &el.host_ctx as *const Context)
     };
     // SAFETY: host_ctx holds the scheduler context that switched us in.
     unsafe { switch_stacks(my, host) };
-    // Resumed: a matching message was handed off, or the world is being
-    // torn down and this fiber must unwind.
+    // Resumed: a matching message was handed off, the deadline fired, or
+    // the world is being torn down and this fiber must unwind.
     // SAFETY: as above; the loop that resumed us is in `switch_stacks`.
     let el = unsafe { &mut *el };
     if el.unwinding {
         panic_any(ForcedUnwind);
     }
-    el.handoff[dst].take()
+    if el.timed_out[dst] {
+        el.timed_out[dst] = false;
+        return ParkWake::TimedOut;
+    }
+    match el.handoff[dst].take() {
+        Some(m) => ParkWake::Delivered(m),
+        None => ParkWake::Spurious,
+    }
 }
 
 /// Delivery fast path: if `dst` is parked on exactly `(src, tag)`, hand
@@ -168,7 +212,7 @@ pub(crate) fn try_handoff(world: &World, dst: usize, src: usize, tag: u64, msg: 
         if w.src == src && w.tag == tag {
             el.waiting[dst] = None;
             el.handoff[dst] = Some(msg);
-            el.ready.push(Reverse((w.clock, dst)));
+            el.ready.push(Reverse((w.clock, dst, WAKE_ENTRY)));
             return None;
         }
     }
@@ -207,7 +251,22 @@ unsafe fn force_unwind_all(el: *mut EventLoop) {
 
 /// Drive all ranks of `world` to completion on the calling thread and
 /// return their results in rank order. Panics in any rank propagate.
+/// Crash-stopped ranks would come back `None`; use
+/// [`run_event_loop_partial`] for worlds that schedule crashes.
 pub(crate) fn run_event_loop<R, F>(world: Arc<World>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    run_event_loop_partial(world, f)
+        .into_iter()
+        .map(|r| r.expect("rank finished without a result"))
+        .collect()
+}
+
+/// [`run_event_loop`] tolerating crash-stopped ranks: their slots come
+/// back `None`, survivors `Some`.
+pub(crate) fn run_event_loop_partial<R, F>(world: Arc<World>, f: F) -> Vec<Option<R>>
 where
     R: Send,
     F: Fn(&Rank) -> R + Sync,
@@ -229,6 +288,9 @@ where
         panic_payload: None,
         ready: BinaryHeap::with_capacity(nprocs),
         waiting: (0..nprocs).map(|_| None).collect(),
+        park_seq: vec![0; nprocs],
+        timed_out: vec![false; nprocs],
+        crashed: 0,
         handoff: (0..nprocs).map(|_| None).collect(),
         slots: Vec::with_capacity(nprocs),
         host_ctx: Context::null(),
@@ -255,13 +317,24 @@ where
             // inside the `run_event_loop` frame that owns `el`.
             let should_run = unsafe { !(*el_ptr).unwinding };
             if should_run {
+                let reap_world = Arc::clone(&world);
                 let rank = Rank::new(world, r);
                 match catch_unwind(AssertUnwindSafe(|| f(&rank))) {
                     // SAFETY: res_ptr is this rank's exclusive slot.
                     Ok(v) => unsafe { *res_ptr = Some(v) },
                     Err(p) => unsafe {
                         let el = &mut *el_ptr;
-                        if !p.is::<ForcedUnwind>() && el.panic_payload.is_none() {
+                        if p.is::<crate::world::CrashStop>() {
+                            // Crash-stop: the rank is gone, the world goes
+                            // on. Reap its mailbox, park state, and any
+                            // pending handoff so no scheduler structure —
+                            // deadlock reports included — ever lists it
+                            // again. Its result slot stays `None`.
+                            el.crashed += 1;
+                            el.waiting[r] = None;
+                            el.handoff[r] = None;
+                            reap_world.reap_rank(r);
+                        } else if !p.is::<ForcedUnwind>() && el.panic_payload.is_none() {
                             el.panic_payload = Some(p);
                         }
                     },
@@ -284,7 +357,7 @@ where
         slot.payload.final_ctx =
             (&mut slot.ctx as *mut Context, &el.host_ctx as *const Context);
         slot.ctx = prepare(&slot.stack, &mut *slot.payload as *mut Payload);
-        el.ready.push(Reverse((0, r)));
+        el.ready.push(Reverse((0, r, WAKE_ENTRY)));
     }
 
     // Nested `run` calls (a rank driving an inner world) save and restore
@@ -300,7 +373,7 @@ where
             }
             el.ready.pop()
         };
-        let Some(Reverse((_clock, r))) = next else {
+        let Some(Reverse((_clock, r, kind))) = next else {
             // Live ranks but nothing runnable: every one of them is parked
             // on a receive no one will ever send. Report and unwind.
             let diag = unsafe { deadlock_report(el_ptr) };
@@ -315,6 +388,20 @@ where
             let el = unsafe { &mut *el_ptr };
             if el.slots[r].done {
                 continue;
+            }
+            if kind != WAKE_ENTRY {
+                // A park timer. It fires only if the rank is still in the
+                // very park that set it (same generation); a handoff that
+                // beat the deadline — or any later park — makes it stale.
+                match el.waiting[r] {
+                    Some(w) if w.gen == kind => {
+                        el.waiting[r] = None;
+                        el.timed_out[r] = true;
+                    }
+                    _ => continue,
+                }
+            } else {
+                debug_assert!(el.waiting[r].is_none(), "wake entry for a parked rank");
             }
             el.current = r;
             (&mut el.host_ctx as *mut Context, &el.slots[r].ctx as *const Context)
@@ -347,10 +434,7 @@ where
         resume_unwind(p);
     }
     drop(el);
-    results
-        .into_iter()
-        .map(|c| c.into_inner().expect("rank finished without a result"))
-        .collect()
+    results.into_iter().map(|c| c.into_inner()).collect()
 }
 
 /// Human-readable summary of who is stuck waiting on what.
@@ -371,6 +455,11 @@ unsafe fn deadlock_report(el: *mut EventLoop) -> String {
     s.push_str(&parked.join("; "));
     if elided > 0 {
         s.push_str(&format!("; … and {elided} more"));
+    }
+    if el.crashed > 0 {
+        // Dead ranks are reaped at crash time, so they never appear in
+        // the parked list above — only this tally mentions them.
+        s.push_str(&format!(" ({} rank(s) crash-stopped earlier)", el.crashed));
     }
     s
 }
@@ -503,6 +592,127 @@ mod tests {
             r.allreduce_sum(inner[0])
         });
         assert_eq!(out, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn crash_stop_survivors_complete() {
+        // Rank 2 crashes at its first checkpoint; survivors re-form the
+        // world as a subgroup and finish a collective. Crashed slot None.
+        let out = crate::world::run_crashable(4, CostModel::free(), &[(2, 0)], |r| {
+            r.maybe_crash();
+            let comm = r.subgroup(&[0, 1, 3]);
+            comm.allreduce_sum(r.rank() as u64)
+        });
+        assert!(out[2].is_none(), "crashed rank must not produce a result");
+        for (i, v) in out.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*v, Some(4), "survivor {i} must complete the collective");
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_rank_runs_destructors() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let out = crate::world::run_crashable(2, CostModel::free(), &[(1, 0)], |r| {
+            let _probe = Probe;
+            r.maybe_crash();
+            r.rank()
+        });
+        assert_eq!(out, vec![Some(0), None]);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2, "crash unwind must drop locals");
+    }
+
+    #[test]
+    fn recv_timeout_is_deterministic() {
+        // Nothing ever arrives: the watchdog fires at exactly the
+        // deadline, twice in a row.
+        for _ in 0..2 {
+            let out = crate::world::run_crashable(2, CostModel::free(), &[(1, 0)], |r| {
+                r.maybe_crash();
+                let got = r.recv_timeout(1, 5, 12_345);
+                (got.is_none(), r.now())
+            });
+            assert_eq!(out[0], Some((true, 12_345)));
+        }
+    }
+
+    #[test]
+    fn recv_timeout_delivers_before_deadline() {
+        let out = crate::world::run_crashable(2, CostModel::free(), &[], |r| {
+            if r.rank() == 1 {
+                r.send(0, 5, b"hb");
+                0
+            } else {
+                r.recv_timeout(1, 5, 1_000_000).expect("must arrive in time").len()
+            }
+        });
+        assert_eq!(out[0], Some(2));
+    }
+
+    #[test]
+    fn stale_park_timer_is_skipped() {
+        // Rank 0's first timed park is satisfied long before its deadline;
+        // the leftover timer entry must not disturb the second, untimed
+        // park (generation check).
+        let out = crate::world::run_crashable(2, CostModel::default(), &[], |r| {
+            if r.rank() == 1 {
+                r.send(0, 1, b"fast");
+                r.advance(50_000_000); // well past rank 0's first deadline
+                r.send(0, 2, b"late");
+                Vec::new()
+            } else {
+                let a = r.recv_timeout(1, 1, r.now() + 10_000_000).expect("fast msg");
+                let b = r.recv(1, 2);
+                [a, b].concat()
+            }
+        });
+        assert_eq!(out[0].as_deref(), Some(b"fastlate".as_slice()));
+    }
+
+    #[test]
+    fn deadlock_report_never_lists_crashed_ranks() {
+        let got = std::panic::catch_unwind(|| {
+            crate::world::run_crashable(3, CostModel::free(), &[(1, 0)], |r| {
+                r.maybe_crash();
+                // Ranks 0 and 2 wait on the dead rank forever: deadlock.
+                let _ = r.recv(1, 9);
+            })
+        });
+        let err = got.expect_err("deadlocked world must panic");
+        let msg = err.downcast_ref::<String>().expect("panic carries a String");
+        assert!(msg.contains("deadlock"), "unexpected message: {msg}");
+        assert!(msg.contains("crash-stopped"), "report should tally crashes: {msg}");
+        assert!(
+            !msg.contains("rank 1 ("),
+            "dead ranks must be reaped out of the parked list: {msg}"
+        );
+    }
+
+    #[test]
+    fn messages_to_dead_ranks_are_dropped() {
+        // The survivor eagerly sends to the dead rank; nothing leaks, the
+        // world still terminates cleanly.
+        let out = crate::world::run_crashable(2, CostModel::free(), &[(1, 0)], |r| {
+            if r.rank() == 0 {
+                r.recv_timeout(1, 7, 1_000); // let rank 1 die first
+                for _ in 0..4 {
+                    r.send(1, 3, &[0; 64]);
+                }
+            } else {
+                r.maybe_crash();
+            }
+            r.rank()
+        });
+        assert_eq!(out, vec![Some(0), None]);
     }
 
     #[test]

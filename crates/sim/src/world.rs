@@ -4,7 +4,14 @@ use crate::cost::CostModel;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload raised by [`crate::rank::Rank::maybe_crash`] when a rank
+/// reaches its scheduled crash time: the event loop recognizes it, marks
+/// the rank dead (reaping its mailbox), and keeps driving the survivors —
+/// the simulation analogue of a crash-stop process failure.
+pub(crate) struct CrashStop;
 
 /// Which rank runtime drives a world's ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,17 +114,58 @@ pub struct World {
     pub(crate) nprocs: usize,
     pub(crate) cost: CostModel,
     pub(crate) mailboxes: Vec<Mailbox>,
+    /// Scheduled crash-stop time per rank, virtual ns (`u64::MAX` =
+    /// never). Checked by [`crate::rank::Rank::maybe_crash`].
+    pub(crate) crash_at: Vec<u64>,
+    /// Ranks that have crash-stopped: deliveries to them are dropped.
+    pub(crate) dead: Vec<AtomicBool>,
 }
 
 impl World {
     /// Create a world of `nprocs` ranks with the given cost model.
     pub fn new(nprocs: usize, cost: CostModel) -> Arc<World> {
+        Self::with_crashes(nprocs, cost, &[])
+    }
+
+    /// [`World::new`] plus a crash-stop schedule: each `(rank, at_ns)`
+    /// entry kills that rank's fiber at its first [`Rank::maybe_crash`]
+    /// check at or past `at_ns` of virtual time.
+    ///
+    /// [`Rank::maybe_crash`]: crate::rank::Rank::maybe_crash
+    pub fn with_crashes(nprocs: usize, cost: CostModel, crashes: &[(usize, u64)]) -> Arc<World> {
         assert!(nprocs > 0, "world needs at least one rank");
+        let mut crash_at = vec![u64::MAX; nprocs];
+        for &(r, at) in crashes {
+            assert!(r < nprocs, "crash rank {r} out of range for {nprocs} ranks");
+            crash_at[r] = crash_at[r].min(at);
+        }
         Arc::new(World {
             nprocs,
             cost,
             mailboxes: (0..nprocs).map(|_| Mailbox::new()).collect(),
+            crash_at,
+            dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
         })
+    }
+
+    /// The scheduled crash time of `rank` (`u64::MAX` = never).
+    pub(crate) fn crash_time(&self, rank: usize) -> u64 {
+        self.crash_at[rank]
+    }
+
+    /// Whether `rank` has crash-stopped.
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::Relaxed)
+    }
+
+    /// Mark `rank` dead and drop everything queued in its mailbox, so the
+    /// scheduler's deadlock diagnostics and memory footprint never carry
+    /// already-dead ranks.
+    pub(crate) fn reap_rank(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::Relaxed);
+        let mut inner = self.mailboxes[rank].inner.lock().unwrap();
+        inner.queues.clear();
+        inner.waiting_for = None;
     }
 
     /// Number of ranks.
@@ -131,6 +179,11 @@ impl World {
     }
 
     pub(crate) fn deliver(&self, dst: usize, src: usize, tag: u64, msg: Msg) {
+        // Messages to a crash-stopped rank fall on the floor, exactly like
+        // packets to a dead host.
+        if self.is_dead(dst) {
+            return;
+        }
         // Event-loop fast path: a receiver already parked on exactly
         // `(src, tag)` gets the message handed to it directly — on the
         // single host thread its queue is provably empty, so FIFO order
@@ -158,10 +211,14 @@ impl World {
                     return m;
                 }
                 // Parking resumes with the message in hand when the
-                // delivery matched (the common case); a `None` resume
+                // delivery matched (the common case); a spurious resume
                 // re-checks the queue.
-                if let Some(m) = crate::sched::park_for_recv(self, dst, src, tag, now) {
-                    return m;
+                match crate::sched::park_for_recv(self, dst, src, tag, now, None) {
+                    crate::sched::ParkWake::Delivered(m) => return m,
+                    crate::sched::ParkWake::Spurious => continue,
+                    crate::sched::ParkWake::TimedOut => {
+                        unreachable!("deadline-free park cannot time out")
+                    }
                 }
             }
         }
@@ -183,6 +240,38 @@ impl World {
             // (cv.wait is atomic), so a concurrent deliver can't miss us.
             inner.waiting_for = Some((src, tag));
             inner = mb.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// [`World::take`] with a virtual-time watchdog: returns `None` when
+    /// no matching message has been delivered by `deadline` (absolute
+    /// virtual ns). Event-loop backend only — the deterministic timer is
+    /// a scheduler feature, and crash detection is what needs it.
+    pub(crate) fn take_deadline(
+        &self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        now: u64,
+        deadline: u64,
+    ) -> Option<Msg> {
+        assert!(
+            crate::sched::event_loop_active_for(self),
+            "recv_timeout requires the event-loop backend (unset FLEXIO_SIM_THREADS)"
+        );
+        loop {
+            if let Some(m) = Self::pop_queued(&self.mailboxes[dst], src, tag) {
+                return Some(m);
+            }
+            match crate::sched::park_for_recv(self, dst, src, tag, now, Some(deadline)) {
+                crate::sched::ParkWake::Delivered(m) => return Some(m),
+                crate::sched::ParkWake::Spurious => continue,
+                // Re-check once: a delivery racing the timer entry would
+                // have been queued, not handed off.
+                crate::sched::ParkWake::TimedOut => {
+                    return Self::pop_queued(&self.mailboxes[dst], src, tag)
+                }
+            }
         }
     }
 
@@ -226,6 +315,32 @@ where
         }
         _ => run_threaded(world, f),
     }
+}
+
+/// Run `f` on every rank of a fresh world carrying a crash-stop schedule:
+/// each `(rank, at_ns)` pair kills that rank at its first
+/// [`Rank::maybe_crash`] check at or past `at_ns` of virtual time.
+/// Crashed ranks return `None`; survivors return `Some`. Requires the
+/// event-loop backend (the only runtime that can reap a dead fiber and
+/// keep the world running); panics where it is unsupported.
+///
+/// [`Rank::maybe_crash`]: crate::rank::Rank::maybe_crash
+pub fn run_crashable<R, F>(
+    nprocs: usize,
+    cost: CostModel,
+    crashes: &[(usize, u64)],
+    f: F,
+) -> Vec<Option<R>>
+where
+    R: Send,
+    F: Fn(&crate::rank::Rank) -> R + Sync,
+{
+    assert!(
+        Backend::event_loop_supported(),
+        "crash-stop simulation requires the event-loop backend"
+    );
+    let world = World::with_crashes(nprocs, cost, crashes);
+    crate::sched::run_event_loop_partial(world, f)
 }
 
 fn run_threaded<R, F>(world: Arc<World>, f: F) -> Vec<R>

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod crash;
 pub mod gen;
 pub mod oracle;
 pub mod runner;
@@ -41,6 +42,11 @@ pub mod spec;
 pub mod strided;
 pub mod tiled;
 
+pub use crash::{
+    assert_writer_tiles, env_crash_recovery, expected_epoch_image, generate_crash,
+    run_crash_checkpoint, verify_crash_checkpoint, CrashOutcome, CrashScenario, RankRecord,
+    RestartResult,
+};
 pub use gen::generate;
 pub use oracle::{eq_padded, Oracle};
 pub use runner::{check_invariants, run_spec, PhaseResult, RunConfig, RunOutcome};

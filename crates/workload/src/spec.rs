@@ -221,7 +221,7 @@ impl WorkloadSpec {
 
 /// Interleaved-tile plans: rank `r` of `nprocs` owns the `block`-byte tile
 /// at `r*block` of every `nprocs*block` stripe, `reps` tiles per call.
-fn tile_plans(seed: u64, nprocs: usize, block: u64, reps: u64) -> Vec<RankPlan> {
+pub(crate) fn tile_plans(seed: u64, nprocs: usize, block: u64, reps: u64) -> Vec<RankPlan> {
     (0..nprocs)
         .map(|r| RankPlan {
             disp: r as u64 * block,
@@ -236,7 +236,7 @@ fn tile_plans(seed: u64, nprocs: usize, block: u64, reps: u64) -> Vec<RankPlan> 
 
 /// Contiguous ceil-partition of `elems` `es`-byte elements over `nprocs`
 /// ranks; trailing ranks of an uneven split participate empty.
-fn partition_plans(seed: u64, nprocs: usize, elems: u64, es: u64) -> Vec<RankPlan> {
+pub(crate) fn partition_plans(seed: u64, nprocs: usize, elems: u64, es: u64) -> Vec<RankPlan> {
     let per = elems.div_ceil(nprocs as u64).max(1);
     (0..nprocs)
         .map(|r| {

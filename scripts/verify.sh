@@ -73,6 +73,22 @@ if [ "$THOROUGH" = 1 ]; then
     PROPTEST_CASES="${PROPTEST_CASES:-512}" \
     cargo test -q --release --offline --test workload_fuzz
 
+  # Crash-recovery leg: the directed crash suite, then the crash-point
+  # fuzz axis with the recovery coin pinned to each side in turn, so
+  # both positions of `flexio_crash_recovery` sweep the identical
+  # crash-point / victim / torn-rate case list under the pinned seed.
+  echo "== crash-recovery directed suite (tests/crash_recovery.rs) =="
+  FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+    cargo test -q --release --offline --test crash_recovery
+
+  for pos in enable disable; do
+    echo "== crash-point fuzz sweep (FLEXIO_CRASH_RECOVERY=$pos) =="
+    FLEXIO_CRASH_RECOVERY="$pos" \
+      FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+      PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+      cargo test -q --release --offline --test workload_fuzz crash_point_fuzz
+  done
+
   # Scale leg: the 4096-rank collective write/read smoke (event-loop
   # backend, byte-identity + phase-sum invariants) and the host_scale
   # sanity check (one host thread must beat 256 OS threads).

@@ -201,6 +201,18 @@ fn exhausted_retries_agree_on_one_error() {
             lead.iter().all(|r| matches!(r, Err(IoError::Transient(_)))),
             "{engine:?}: every call must exhaust its retries, got {lead:?}"
         );
+        // Retry-count saturation keeps the cause: the surfaced error's
+        // `source()` chain must bottom out at the injected PFS fault.
+        for r in lead {
+            let e = r.as_ref().expect_err("exhaustion checked above");
+            let src = std::error::Error::source(e)
+                .unwrap_or_else(|| panic!("{engine:?}: exhausted error lost its source: {e}"));
+            let pe = src
+                .downcast_ref::<flexio::pfs::PfsError>()
+                .expect("source must be the underlying PfsError");
+            assert_eq!(pe.kind, flexio::pfs::PfsErrorKind::TransientOst);
+            assert!(src.source().is_none(), "PfsError is the chain's root");
+        }
         for (r, o) in out_f.iter().enumerate() {
             assert_eq!(&o.2, lead, "{engine:?}: rank {r} disagrees on the error");
         }

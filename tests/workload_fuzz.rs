@@ -25,9 +25,10 @@ use flexio::core::Engine;
 use flexio::sim::prop::Runner;
 use flexio::sim::XorShift64Star;
 use flexio::workload::{
-    check_invariants, checkpoint_spec, env_zero_copy, eq_padded, generate, many_task_spec,
-    mixed_subarray_spec, read_scan_spec, restart_spec, run_spec, Oracle, PhaseOp, RunConfig,
-    RunOutcome, ScenarioKind, WorkloadSpec,
+    check_invariants, checkpoint_spec, env_zero_copy, eq_padded, generate, generate_crash,
+    many_task_spec, mixed_subarray_spec, read_scan_spec, restart_spec, run_spec,
+    verify_crash_checkpoint, CrashScenario, Oracle, PhaseOp, RunConfig, RunOutcome, ScenarioKind,
+    WorkloadSpec,
 };
 
 /// Run one spec through every axis and cross-check.
@@ -168,6 +169,54 @@ fn reads_past_last_writer_extent_see_zeros() {
             );
         }
     }
+}
+
+/// The crash-point fuzz axis: drawn crash times, victims, world sizes,
+/// clean-epoch counts, torn-header rates, and the recovery switch (both
+/// positions unless `FLEXIO_CRASH_RECOVERY` pins one — the CI matrix
+/// does). Each case runs the full battery in
+/// `flexio::workload::verify_crash_checkpoint`: determinism, survivor
+/// byte-identity masked to survivor tiles, recovery-counter agreement,
+/// phase-sum through recovery, collective error agreement with recovery
+/// off, and the restart family's old-or-new-never-torn read.
+#[test]
+fn crash_point_fuzz() {
+    Runner::new("crash_point_fuzz")
+        .cases(12)
+        .regressions(include_str!("crash_recovery.proptest-regressions"))
+        .run(generate_crash, |scn| {
+            verify_crash_checkpoint(scn);
+        });
+}
+
+/// The crash generator reaches both recovery positions, mid-run crash
+/// times, and victims across the world within a small seed budget.
+#[test]
+fn crash_generator_covers_the_axes() {
+    let mut rng = XorShift64Star::new(0x00F1_E810);
+    let (mut on, mut off, mut entry, mut late) = (0, 0, 0, 0);
+    let mut victims = std::collections::BTreeSet::new();
+    for _ in 0..64 {
+        let s: CrashScenario = generate_crash(&mut rng);
+        if s.recovery {
+            on += 1;
+        } else {
+            off += 1;
+        }
+        if s.at_ns < 1_000 {
+            entry += 1;
+        }
+        if s.at_ns > 500_000 {
+            late += 1;
+        }
+        victims.insert(s.victim);
+    }
+    if std::env::var("FLEXIO_CRASH_RECOVERY").is_err() {
+        assert!(on > 0 && off > 0, "recovery coin is stuck ({on} on, {off} off)");
+    }
+    assert!(late > 0, "no late crash times drawn");
+    assert!(victims.len() >= 3, "victims not spread: {victims:?}");
+    let _ = entry;
 }
 
 /// `RunOutcome` equality is exhaustive (images, clocks, stats, outcomes,
