@@ -1,12 +1,12 @@
 //! # flexio-sim — an in-process message-passing runtime with virtual time
 //!
 //! Substitute for the paper's MPICH2-over-TCP substrate. Each rank owns a
-//! virtual clock in nanoseconds; by default all ranks of a world run as
-//! cooperatively-scheduled fibers on **one host thread**, resumed lowest
-//! virtual clock first (deterministic by construction, and cheap enough
-//! to drive tens of thousands of ranks per process). The original
-//! one-OS-thread-per-rank runtime remains available behind
-//! `FLEXIO_SIM_THREADS=1` (see [`Backend`]). Point-to-point and
+//! virtual clock in nanoseconds; all ranks of a world run as
+//! cooperatively-scheduled fibers, resumed lowest virtual clock first
+//! (deterministic by construction, and cheap enough to drive tens of
+//! thousands of ranks per process) — on one host thread by default, or on
+//! a sharded pool of host threads behind `FLEXIO_SIM_SHARDS=n` (see
+//! [`Backend`]); both produce bit-identical results. Point-to-point and
 //! collective operations charge an alpha/beta network model; higher layers
 //! charge computation explicitly (offset/length-pair processing, buffer
 //! copies). The paper's performance deltas are driven by *counts* — bytes
@@ -37,8 +37,9 @@ pub mod rank;
 mod sched;
 pub mod world;
 
-/// Fallback for architectures without the fiber layer: the event loop is
-/// never active, so `World::take` always uses the threaded path.
+/// Stub for architectures without the fiber layer: `run`/`run_on` assert
+/// [`Backend::event_loop_supported`] before ever reaching these, so they
+/// only have to keep the crate compiling.
 #[cfg(not(target_arch = "x86_64"))]
 mod sched {
     use crate::rank::Rank;
@@ -54,7 +55,7 @@ mod sched {
         TimedOut,
     }
 
-    pub(crate) fn event_loop_active_for(_world: &World) -> bool {
+    pub(crate) fn scheduler_active_for(_world: &World) -> bool {
         false
     }
 
@@ -66,7 +67,7 @@ mod sched {
         _now: u64,
         _deadline: Option<u64>,
     ) -> ParkWake {
-        unreachable!("event-loop backend unsupported on this architecture")
+        unreachable!("the fiber rank runtime is unsupported on this architecture")
     }
 
     pub(crate) fn try_handoff(
@@ -84,7 +85,7 @@ mod sched {
         R: Send,
         F: Fn(&Rank) -> R + Sync,
     {
-        unreachable!("event-loop backend unsupported on this architecture")
+        unreachable!("the fiber rank runtime is unsupported on this architecture")
     }
 
     pub(crate) fn run_event_loop_partial<R, F>(_world: Arc<World>, _f: F) -> Vec<Option<R>>
@@ -92,14 +93,35 @@ mod sched {
         R: Send,
         F: Fn(&Rank) -> R + Sync,
     {
-        unreachable!("event-loop backend unsupported on this architecture")
+        unreachable!("the fiber rank runtime is unsupported on this architecture")
+    }
+
+    pub(crate) fn run_pool<R, F>(_world: Arc<World>, _shards: usize, _f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
+        unreachable!("the fiber rank runtime is unsupported on this architecture")
+    }
+
+    pub(crate) fn run_pool_partial<R, F>(
+        _world: Arc<World>,
+        _shards: usize,
+        _jitter: Option<(u64, u64)>,
+        _f: F,
+    ) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(&Rank) -> R + Sync,
+    {
+        unreachable!("the fiber rank runtime is unsupported on this architecture")
     }
 }
 
 pub use cost::CostModel;
 pub use prng::XorShift64Star;
 pub use rank::{OverlapWindow, Phase, Rank, RecvReq, Stats};
-pub use world::{run, run_crashable, run_on, Backend, World};
+pub use world::{run, run_crashable, run_crashable_on, run_jittered, run_on, Backend, World};
 
 #[cfg(all(test, feature = "proptests"))]
 mod proptests {

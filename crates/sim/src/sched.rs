@@ -1,5 +1,7 @@
-//! The event-loop rank runtime: one host thread drives every rank of a
-//! world as a cooperatively-scheduled fiber over virtual time.
+//! The fiber rank runtime: every rank of a world runs as a cooperatively-
+//! scheduled fiber over virtual time, driven either by one host thread
+//! (the sequential event loop) or by a **sharded pool** of host threads
+//! that reproduces the sequential execution bit for bit.
 //!
 //! Ranks are resumable state machines (stackful fibers, [`crate::fiber`])
 //! parked on their one blocking primitive — a message receive that found
@@ -7,27 +9,50 @@
 //! resumes the runnable rank with the **lowest virtual clock**, rank id as
 //! tie-break, so host execution order is a pure function of the workload:
 //! no OS wakeup races, no `Condvar` herds, bit-identical clocks and
-//! counters on every run. A delivery wakes only the parked rank whose
-//! `(src, tag)` matches — the event-loop answer to the old
-//! `Mailbox::deliver` `notify_all`.
+//! counters on every run.
 //!
-//! Why lowest-clock-first is safe *and* sufficient: message payloads and
-//! per-rank charges never depend on host order (per-`(src, tag)` queues
-//! are single-producer FIFO), so any fair schedule yields the same bytes.
-//! Lowest-clock-first additionally (a) keeps eager senders from racing
-//! arbitrarily far ahead of their receivers (bounding mailbox memory), and
-//! (b) issues shared-resource operations (PFS OST requests) in virtual-
-//! time order, which pins down the one thing the threaded runtime left to
-//! the OS scheduler: service order at shared devices. That is what turns
-//! "deterministic except for OST queueing races" into "deterministic".
+//! Why lowest-clock-first matters: message payloads and per-rank charges
+//! never depend on host order (per-`(src, tag)` queues are single-producer
+//! FIFO), but operations against shared stateful resources — PFS OSTs with
+//! ratcheting service clocks, seeded fault draws — observe the *order* in
+//! which rank segments execute. Lowest-clock-first pins that order down to
+//! a pure function of the workload, which is what turns "deterministic
+//! except for device-queueing races" into "deterministic".
+//!
+//! # The sharded pool (`Backend::Sharded`)
+//!
+//! Ranks are partitioned by id into contiguous blocks, one per shard; each
+//! shard owns a host thread, a local lowest-clock-first ready heap, and
+//! the fiber slots of its ranks. Because the simulation has **zero
+//! lookahead** (a segment resuming at virtual time `t` may issue PFS
+//! operations timestamped far past `t`, and OST clocks ratchet on arrival
+//! order), no shard may run a segment while any other shard holds a
+//! globally smaller `(clock, rank, kind)` key. The pool therefore runs an
+//! **epoch barrier degenerate to one segment per epoch**: a shared
+//! min-gate (one mutex) where every shard publishes the head of its heap,
+//! and only the shard holding the global minimum may dispatch — exactly
+//! the key the sequential loop would pop next. Execution is serialized;
+//! what the shards parallelize is scheduler state (heaps, park bookkeeping,
+//! fiber slots, inbox drains), which is also what bounds per-thread memory
+//! at high rank counts. See DESIGN.md "Rank runtime" for the equivalence
+//! induction.
+//!
+//! Cross-shard delivery cannot hand a message directly into a parked
+//! fiber — the receiver's park state belongs to another host thread. The
+//! sender instead consults a gate-protected **park mirror** (each shard
+//! republishes its ranks' park state when it releases the baton), pushes
+//! the message into the target shard's **inbox**, and lowers the target's
+//! published min so the global argmin sees the wake. The target drains its
+//! inbox at its next gate entry, before publishing. Same-shard deliveries
+//! keep the sequential loop's lock-free direct-handoff fast path.
 //!
 //! Error handling: a panic in any rank force-unwinds every other live
 //! fiber (their park points re-raise a private `ForcedUnwind` panic, so
 //! destructors on fiber stacks run) and then propagates the original
-//! payload from `run`, matching the threaded runtime's "rank panicked"
-//! behaviour. A world where every live rank is parked with no matching
-//! message in flight is reported as a deadlock — the threaded runtime
-//! would hang forever instead.
+//! payload from `run`. Under the pool, the first payload wins and every
+//! shard unwinds its own fibers. A world where every live rank is parked
+//! with no matching message in flight is reported as a deadlock with
+//! identical diagnostics under both drivers.
 
 use crate::fiber::{prepare, switch_stacks, Context, FiberStack, Payload};
 use crate::rank::Rank;
@@ -37,7 +62,7 @@ use std::cell::{Cell, UnsafeCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Default fiber stack size: 1 MiB of (lazily committed) address space.
 const DEFAULT_STACK_BYTES: usize = 1 << 20;
@@ -50,6 +75,10 @@ struct ForcedUnwind;
 /// resumes). Timer entries carry the park generation instead, which a
 /// per-park increment keeps strictly below this.
 const WAKE_ENTRY: u64 = u64::MAX;
+
+/// A ready-heap key: `(virtual clock, global rank id, kind)`. Rank ids are
+/// globally unique, so keys totally order across shards.
+type Key = (u64, usize, u64);
 
 /// How a park ended, as seen by `World::take`/`take_deadline`.
 pub(crate) enum ParkWake {
@@ -84,43 +113,138 @@ struct FiberSlot {
     done: bool,
 }
 
-struct EventLoop {
-    /// Identity of the world this loop drives (nested `run` calls swap the
-    /// active loop; the pointer check keeps a foreign world's primitives
-    /// from parking on the wrong scheduler).
+/// A cross-shard delivery parked in the target shard's inbox: the sender
+/// matched the receiver against the park mirror and consumed its entry;
+/// the target completes the handoff (clear local park state, stash the
+/// message, push the wake) when it next drains at the gate.
+struct InboxDelivery {
+    dst: usize,
+    /// The receiver's park-time clock — its wake-up priority, exactly the
+    /// key the sequential loop would have pushed.
+    clock: u64,
+    msg: Msg,
+}
+
+/// State behind the pool's min-gate mutex.
+struct Gate {
+    /// Head of each shard's ready heap as of its last gate visit. A
+    /// running shard's entry stays at the key it is executing, which
+    /// (being the global min at selection time) keeps every other shard
+    /// fenced until it returns and republishes.
+    mins: Vec<Option<Key>>,
+    /// Pending cross-shard deliveries, per target shard.
+    inboxes: Vec<Vec<InboxDelivery>>,
+    /// Park mirror: every rank's park state as of its shard's last baton
+    /// release. Consulted (and consumed) by cross-shard senders.
+    parked: Vec<Option<ParkedRecv>>,
+    /// Live (not finished, not crashed) ranks across the whole world.
+    live: usize,
+    /// Crash-stopped ranks across the whole world.
+    crashed: usize,
+    /// Set once: every shard must force-unwind its fibers and exit.
+    unwinding: bool,
+    /// Deadlock diagnostics, reported by the shard that detected it.
+    deadlock: Option<String>,
+    /// First rank panic payload; re-raised by the pool's caller.
+    panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+/// Shared coordination state of one pool run.
+struct ShardShared {
+    /// Partition parameters: shard `s` owns `base + (s < extra)` ranks,
+    /// contiguous ascending (so `shard_of` is closed-form).
+    base: usize,
+    extra: usize,
+    gate: Mutex<Gate>,
+    /// One condvar per shard (all waiting on `gate`): a shard is notified
+    /// when some other shard observed it holding the global minimum.
+    cvs: Vec<Condvar>,
+}
+
+impl ShardShared {
+    /// Which shard owns global rank `r`.
+    fn shard_of(&self, r: usize) -> usize {
+        let cut = self.extra * (self.base + 1);
+        if r < cut {
+            r / (self.base + 1)
+        } else {
+            self.extra + (r - cut) / self.base
+        }
+    }
+}
+
+/// Index of the shard holding the globally smallest published key.
+fn global_argmin(mins: &[Option<Key>]) -> Option<usize> {
+    let mut best: Option<(Key, usize)> = None;
+    for (s, m) in mins.iter().enumerate() {
+        if let Some(k) = *m {
+            if best.is_none_or(|(bk, _)| k < bk) {
+                best = Some((k, s));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// Per-shard scheduler state. The sequential event loop is the one-shard
+/// special case (`shared: None`, owning ranks `0..nprocs`); the pool runs
+/// one of these per host thread over a contiguous rank block. All
+/// rank-indexed vectors are local (`global rank - lo`); ready-heap keys
+/// carry global rank ids so they order identically to the sequential heap.
+struct Sched {
+    /// Identity of the world this scheduler drives (nested `run` calls
+    /// swap the active scheduler; the pointer check keeps a foreign
+    /// world's primitives from parking on the wrong one).
     world: *const World,
+    /// Full world size (diagnostics only).
     nprocs: usize,
+    /// This shard's id within the pool (0 for the sequential driver).
+    shard: usize,
+    /// First global rank id this shard owns.
+    lo: usize,
+    stack_bytes: usize,
     current: usize,
+    /// Locally owned ranks still live (the whole world for the solo
+    /// driver; the pool tracks the global count in [`Gate::live`]).
     live: usize,
     unwinding: bool,
     panic_payload: Option<Box<dyn Any + Send>>,
-    /// Runnable ranks and pending park timers, ordered by (virtual time,
-    /// rank id) ascending. The third element distinguishes wake entries
-    /// (`WAKE_ENTRY`) from timer entries (the park's generation); at an
-    /// equal `(time, rank)` the timer pops first and is discarded as
-    /// stale if the handoff already cleared the park.
-    ready: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Runnable ranks and pending park timers, ordered by `(virtual time,
+    /// global rank id)` ascending. The third element distinguishes wake
+    /// entries (`WAKE_ENTRY`) from timer entries (the park's generation);
+    /// at an equal `(time, rank)` the timer pops first and is discarded
+    /// as stale if the handoff already cleared the park.
+    ready: BinaryHeap<Reverse<Key>>,
     /// Per-rank park state; `Some` while blocked in `World::take`.
     waiting: Vec<Option<ParkedRecv>>,
     /// Per-rank park generation counter (see [`ParkedRecv::gen`]).
     park_seq: Vec<u64>,
     /// Set when a park's deadline fired; consumed by the resumed fiber.
     timed_out: Vec<bool>,
-    /// Ranks that crash-stopped ([`crate::world::CrashStop`]).
+    /// Ranks that crash-stopped ([`crate::world::CrashStop`]); the pool
+    /// also accumulates deltas to fold into the gate at baton release.
     crashed: usize,
+    crashed_delta: usize,
+    finished_delta: usize,
+    /// Global rank ids whose park state changed during the segment just
+    /// run; their mirror entries are republished at baton release. Unused
+    /// (never pushed) by the solo driver.
+    dirty: Vec<usize>,
     /// Direct-handoff slot per rank: a delivery matching a parked
     /// receiver's `(src, tag)` lands here, bypassing the mailbox map and
-    /// its lock entirely (single host thread, so the queue is provably
+    /// its lock entirely (same host thread, so the queue is provably
     /// empty whenever the receiver is parked).
     handoff: Vec<Option<Msg>>,
     slots: Vec<FiberSlot>,
     host_ctx: Context,
+    /// Pool coordination state; `None` for the solo driver.
+    shared: Option<Arc<ShardShared>>,
 }
 
 std::thread_local! {
-    /// The event loop currently executing on this thread (null outside
-    /// `run_event_loop`; always null on threaded-runtime rank threads).
-    static ACTIVE: Cell<*mut EventLoop> = const { Cell::new(std::ptr::null_mut()) };
+    /// The scheduler currently executing on this thread (null outside a
+    /// `run_*` frame). Each pool host thread sees only its own shard.
+    static ACTIVE: Cell<*mut Sched> = const { Cell::new(std::ptr::null_mut()) };
 }
 
 fn stack_bytes_from_env() -> usize {
@@ -131,11 +255,11 @@ fn stack_bytes_from_env() -> usize {
         .unwrap_or(DEFAULT_STACK_BYTES)
 }
 
-/// True when the calling code is a fiber of an event loop driving `world`.
-pub(crate) fn event_loop_active_for(world: &World) -> bool {
+/// True when the calling code is a fiber of a scheduler driving `world`.
+pub(crate) fn scheduler_active_for(world: &World) -> bool {
     let el = ACTIVE.with(|a| a.get());
-    // SAFETY: a non-null ACTIVE points at the EventLoop owned by the
-    // `run_event_loop` frame further up this same thread's (host) stack.
+    // SAFETY: a non-null ACTIVE points at the Sched owned by the run
+    // frame further up this same thread's (host) stack.
     !el.is_null() && std::ptr::eq(unsafe { (*el).world }, world)
 }
 
@@ -157,11 +281,11 @@ pub(crate) fn park_for_recv(
     let el = ACTIVE.with(|a| a.get());
     assert!(
         !el.is_null() && std::ptr::eq(unsafe { (*el).world }, world),
-        "park_for_recv outside the owning event loop"
+        "park_for_recv outside the owning scheduler"
     );
-    // SAFETY: single host thread; no other code touches the EventLoop
+    // SAFETY: the owning host thread; no other code touches this Sched
     // between here and the switch (borrows end before switching).
-    let (my, host) = unsafe {
+    let (my, host, li) = unsafe {
         let el = &mut *el;
         if el.unwinding {
             // A destructor receiving during forced unwind: re-raise
@@ -169,13 +293,17 @@ pub(crate) fn park_for_recv(
             panic_any(ForcedUnwind);
         }
         debug_assert_eq!(el.current, dst, "a rank may only take from its own mailbox");
-        el.park_seq[dst] += 1;
-        let gen = el.park_seq[dst];
-        el.waiting[dst] = Some(ParkedRecv { src, tag, clock: now, gen });
+        let li = dst - el.lo;
+        el.park_seq[li] += 1;
+        let gen = el.park_seq[li];
+        el.waiting[li] = Some(ParkedRecv { src, tag, clock: now, gen });
+        if el.shared.is_some() {
+            el.dirty.push(dst);
+        }
         if let Some(d) = deadline {
             el.ready.push(Reverse((d.max(now), dst, gen)));
         }
-        (&mut el.slots[dst].ctx as *mut Context, &el.host_ctx as *const Context)
+        (&mut el.slots[li].ctx as *mut Context, &el.host_ctx as *const Context, li)
     };
     // SAFETY: host_ctx holds the scheduler context that switched us in.
     unsafe { switch_stacks(my, host) };
@@ -186,68 +314,107 @@ pub(crate) fn park_for_recv(
     if el.unwinding {
         panic_any(ForcedUnwind);
     }
-    if el.timed_out[dst] {
-        el.timed_out[dst] = false;
+    if el.timed_out[li] {
+        el.timed_out[li] = false;
         return ParkWake::TimedOut;
     }
-    match el.handoff[dst].take() {
+    match el.handoff[li].take() {
         Some(m) => ParkWake::Delivered(m),
         None => ParkWake::Spurious,
     }
 }
 
 /// Delivery fast path: if `dst` is parked on exactly `(src, tag)`, hand
-/// the message straight to it (skipping the mailbox map and lock — the
-/// event-loop answer to the old `notify_all`) and mark it runnable at its
-/// park-time clock. Returns the message back when no such receiver is
-/// parked (or no event loop drives `world`); the caller then queues it.
+/// the message straight to it and mark it runnable at its park-time
+/// clock. Same-shard receivers take the lock-free direct slot; receivers
+/// on other shards go through the gate's park mirror and inbox (their
+/// park state belongs to another host thread — the direct slot would be
+/// a data race). Returns the message back when no such receiver is
+/// parked (or no scheduler drives `world`); the caller then queues it.
 pub(crate) fn try_handoff(world: &World, dst: usize, src: usize, tag: u64, msg: Msg) -> Option<Msg> {
     let el = ACTIVE.with(|a| a.get());
     if el.is_null() || !std::ptr::eq(unsafe { (*el).world }, world) {
         return Some(msg);
     }
-    // SAFETY: single host thread, short borrow, no switch inside.
+    // SAFETY: the owning host thread, short borrow, no switch inside.
     let el = unsafe { &mut *el };
-    if let Some(w) = el.waiting[dst] {
+    if dst >= el.lo && dst < el.lo + el.slots.len() {
+        if let Some(w) = el.waiting[dst - el.lo] {
+            if w.src == src && w.tag == tag {
+                el.waiting[dst - el.lo] = None;
+                el.handoff[dst - el.lo] = Some(msg);
+                el.ready.push(Reverse((w.clock, dst, WAKE_ENTRY)));
+                if el.shared.is_some() {
+                    el.dirty.push(dst);
+                }
+                return None;
+            }
+        }
+        return Some(msg);
+    }
+    cross_shard_handoff(el, dst, src, tag, msg)
+}
+
+/// The cross-shard half of [`try_handoff`]: match `dst` against the park
+/// mirror under the gate; on a hit, consume the mirror entry, queue the
+/// delivery in the target shard's inbox, and lower the target's published
+/// min so the global argmin already sees the wake (the target's own heap
+/// learns of it when it drains the inbox at its next gate entry).
+fn cross_shard_handoff(el: &Sched, dst: usize, src: usize, tag: u64, msg: Msg) -> Option<Msg> {
+    let sh = el.shared.as_ref().expect("cross-shard delivery without a pool");
+    let target = sh.shard_of(dst);
+    debug_assert_ne!(target, el.shard, "local rank routed to the cross-shard path");
+    let mut g = sh.gate.lock().unwrap();
+    if let Some(w) = g.parked[dst] {
         if w.src == src && w.tag == tag {
-            el.waiting[dst] = None;
-            el.handoff[dst] = Some(msg);
-            el.ready.push(Reverse((w.clock, dst, WAKE_ENTRY)));
+            g.parked[dst] = None;
+            let key = (w.clock, dst, WAKE_ENTRY);
+            g.inboxes[target].push(InboxDelivery { dst, clock: w.clock, msg });
+            if g.mins[target].is_none_or(|k| key < k) {
+                g.mins[target] = Some(key);
+            }
             return None;
         }
     }
     Some(msg)
 }
 
-/// Resume every live fiber so it unwinds (running destructors) and marks
-/// itself done. Park points re-raise `ForcedUnwind`; never-started fibers
-/// skip their body. Requires ACTIVE to still point at `el`.
-unsafe fn force_unwind_all(el: *mut EventLoop) {
-    let nprocs = unsafe {
+/// Resume every live local fiber so it unwinds (running destructors) and
+/// marks itself done. Park points re-raise `ForcedUnwind`; never-started
+/// fibers skip their body. Requires ACTIVE to still point at `el`.
+unsafe fn force_unwind_local(el: *mut Sched) {
+    let count = unsafe {
         (*el).unwinding = true;
-        (*el).nprocs
+        (*el).slots.len()
     };
-    for r in 0..nprocs {
+    for li in 0..count {
         // Scoped borrow: must end before the switch hands control to a
-        // fiber that will re-borrow the loop from its own park point.
+        // fiber that will re-borrow the scheduler from its own park point.
         let (host, fctx) = {
             // SAFETY: caller guarantees `el` outlives every fiber.
             let el = unsafe { &mut *el };
-            if el.slots[r].done {
+            if el.slots[li].done {
                 continue;
             }
-            el.current = r;
-            (&mut el.host_ctx as *mut Context, &el.slots[r].ctx as *const Context)
+            el.current = el.lo + li;
+            (&mut el.host_ctx as *mut Context, &el.slots[li].ctx as *const Context)
         };
         // SAFETY: fctx is a live suspended fiber (not done).
         unsafe { switch_stacks(host, fctx) };
         // SAFETY: host thread again; the fiber is parked or done.
         debug_assert!(
-            unsafe { (&*el).slots[r].done },
-            "forced unwind left rank {r} live"
+            unsafe { (&(*el).slots)[li].done },
+            "forced unwind left local slot {li} live"
         );
     }
 }
+
+/// A per-rank result slot writable from the owning shard's host thread.
+struct ResultCell<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: each cell is written by exactly one shard host thread (its
+// rank's owner) and read only after the pool joins.
+unsafe impl<R: Send> Sync for ResultCell<R> {}
 
 /// Drive all ranks of `world` to completion on the calling thread and
 /// return their results in rank order. Panics in any rank propagate.
@@ -273,29 +440,190 @@ where
 {
     let nprocs = world.nprocs();
     let stack_bytes = stack_bytes_from_env();
-    // Fresh per-rank flatten caches, exactly like the fresh threads the
-    // threaded runtime would have spawned.
+    let results: Vec<ResultCell<R>> = (0..nprocs).map(|_| ResultCell(UnsafeCell::new(None))).collect();
+    // SAFETY: shard_main's contract — `results` outlives the call, and
+    // ranks 0..nprocs are driven to completion (or unwound) inside it.
+    let leftover = unsafe { shard_main(world, 0, 0, nprocs, None, &f, &results, stack_bytes) };
+    if let Some(p) = leftover {
+        drop(results);
+        resume_unwind(p);
+    }
+    results.into_iter().map(|c| c.0.into_inner()).collect()
+}
+
+/// [`run_pool_partial`] for crash-free worlds.
+pub(crate) fn run_pool<R, F>(world: Arc<World>, shards: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    run_pool_partial(world, shards, None, f)
+        .into_iter()
+        .map(|r| r.expect("rank finished without a result"))
+        .collect()
+}
+
+/// Drive `world` on a sharded pool of `shards` host threads (clamped to
+/// `1..=nprocs`; shard 0 runs on the calling thread) and return per-rank
+/// results, `None` for crash-stopped ranks. Bit-identical to the
+/// sequential [`run_event_loop_partial`] regardless of shard count or
+/// host-thread interleaving. `jitter` — `(seed, max_ns)` — staggers the
+/// spawned shard threads' startup pseudo-randomly, a determinism-harness
+/// hook that widens the interleavings an OS scheduler would explore.
+pub(crate) fn run_pool_partial<R, F>(
+    world: Arc<World>,
+    shards: usize,
+    jitter: Option<(u64, u64)>,
+    f: F,
+) -> Vec<Option<R>>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    let nprocs = world.nprocs();
+    let k = shards.max(1).min(nprocs);
+    let stack_bytes = stack_bytes_from_env();
+    let base = nprocs / k;
+    let extra = nprocs % k;
+    let starts: Vec<usize> = (0..=k).map(|s| s * base + s.min(extra)).collect();
+    let results: Vec<ResultCell<R>> = (0..nprocs).map(|_| ResultCell(UnsafeCell::new(None))).collect();
+    let shared = Arc::new(ShardShared {
+        base,
+        extra,
+        gate: Mutex::new(Gate {
+            // Pre-seeded so the argmin is right even before a late-
+            // starting shard's first gate entry (jitter must not be able
+            // to reorder anything).
+            mins: (0..k).map(|s| Some((0, starts[s], WAKE_ENTRY))).collect(),
+            inboxes: (0..k).map(|_| Vec::new()).collect(),
+            parked: vec![None; nprocs],
+            live: nprocs,
+            crashed: 0,
+            unwinding: false,
+            deadlock: None,
+            panic_payload: None,
+        }),
+        cvs: (0..k).map(|_| Condvar::new()).collect(),
+    });
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..k)
+            .map(|shard| {
+                let world = Arc::clone(&world);
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                let results = &results[..];
+                let (lo, hi) = (starts[shard], starts[shard + 1]);
+                s.spawn(move || {
+                    if let Some((seed, max_ns)) = jitter {
+                        jitter_sleep(seed, shard, max_ns);
+                    }
+                    // SAFETY: this shard exclusively owns ranks lo..hi and
+                    // their result cells; the scope keeps `results`/`f`
+                    // alive past every fiber.
+                    let p = unsafe {
+                        shard_main(world, shard, lo, hi - lo, Some(shared), f, results, stack_bytes)
+                    };
+                    debug_assert!(p.is_none(), "pool shards surface panics via the gate");
+                })
+            })
+            .collect();
+        // Shard 0 runs on the calling thread, like the sequential loop.
+        // SAFETY: as above, for ranks 0..starts[1].
+        let p = unsafe {
+            shard_main(
+                Arc::clone(&world),
+                0,
+                0,
+                starts[1],
+                Some(Arc::clone(&shared)),
+                &f,
+                &results,
+                stack_bytes,
+            )
+        };
+        debug_assert!(p.is_none(), "pool shards surface panics via the gate");
+        for h in handles {
+            h.join().expect("shard host thread panicked outside the pool protocol");
+        }
+    });
+    let mut g = shared.gate.lock().unwrap();
+    if let Some(d) = g.deadlock.take() {
+        drop(g);
+        panic!("flexio-sim event loop deadlock: {d}");
+    }
+    if let Some(p) = g.panic_payload.take() {
+        drop(g);
+        drop(results);
+        resume_unwind(p);
+    }
+    drop(g);
+    results.into_iter().map(|c| c.0.into_inner()).collect()
+}
+
+/// Deterministic per-shard startup stagger (splitmix64 of `seed ^ shard`):
+/// perturbs host scheduling without perturbing the simulation.
+fn jitter_sleep(seed: u64, shard: usize, max_ns: u64) {
+    let mut x = seed ^ (shard as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    std::thread::sleep(std::time::Duration::from_nanos(x % max_ns.max(1)));
+}
+
+/// Build one shard's scheduler (fiber slots for ranks `lo..lo+count`) at a
+/// stable address, run the matching driver, and clean up thread-local
+/// state. Returns any leftover panic payload (solo driver only; the pool
+/// surfaces panics through the gate).
+///
+/// # Safety
+/// `results` must cover the full world, outlive the call, and have each
+/// cell written by at most this shard (ranks `lo..lo+count`). The caller
+/// must be prepared for a panic (solo deadlock / stack-canary failure).
+#[allow(clippy::too_many_arguments)]
+unsafe fn shard_main<R, F>(
+    world: Arc<World>,
+    shard: usize,
+    lo: usize,
+    count: usize,
+    shared: Option<Arc<ShardShared>>,
+    f: &F,
+    results: &[ResultCell<R>],
+    stack_bytes: usize,
+) -> Option<Box<dyn Any + Send>>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    // Fresh per-rank flatten caches, like the fresh host threads the pool
+    // spawns (shard 0 and the solo driver reuse the caller's thread, so
+    // reset explicitly; per-rank scoping keeps hit/miss counts identical
+    // across shard layouts).
     flexio_types::flatten::reset_flatten_cache();
-
-    let results: Vec<UnsafeCell<Option<R>>> = (0..nprocs).map(|_| UnsafeCell::new(None)).collect();
-
-    let mut el = EventLoop {
+    let mut el = Sched {
         world: Arc::as_ptr(&world),
-        nprocs,
-        current: 0,
-        live: nprocs,
+        nprocs: world.nprocs(),
+        shard,
+        lo,
+        stack_bytes,
+        current: lo,
+        live: count,
         unwinding: false,
         panic_payload: None,
-        ready: BinaryHeap::with_capacity(nprocs),
-        waiting: (0..nprocs).map(|_| None).collect(),
-        park_seq: vec![0; nprocs],
-        timed_out: vec![false; nprocs],
+        ready: BinaryHeap::with_capacity(count),
+        waiting: vec![None; count],
+        park_seq: vec![0; count],
+        timed_out: vec![false; count],
         crashed: 0,
-        handoff: (0..nprocs).map(|_| None).collect(),
-        slots: Vec::with_capacity(nprocs),
+        crashed_delta: 0,
+        finished_delta: 0,
+        dirty: Vec::new(),
+        handoff: (0..count).map(|_| None).collect(),
+        slots: Vec::with_capacity(count),
         host_ctx: Context::null(),
+        shared,
     };
-    for _ in 0..nprocs {
+    for _ in 0..count {
         el.slots.push(FiberSlot {
             stack: FiberStack::new(stack_bytes),
             ctx: Context::null(),
@@ -307,14 +635,14 @@ where
         });
     }
     // From here on `el` must not move: fibers hold raw pointers into it.
-    let el_ptr: *mut EventLoop = &mut el;
-    for (r, res) in results.iter().enumerate() {
+    let el_ptr: *mut Sched = &mut el;
+    for li in 0..count {
+        let r = lo + li;
         let world = Arc::clone(&world);
-        let f = &f;
-        let res_ptr = res.get();
+        let res_ptr = results[r].0.get();
         let body = move || {
-            // SAFETY: this closure only ever runs on the host thread,
-            // inside the `run_event_loop` frame that owns `el`.
+            // SAFETY: this closure only ever runs on this shard's host
+            // thread, inside the `shard_main` frame that owns `el`.
             let should_run = unsafe { !(*el_ptr).unwinding };
             if should_run {
                 let reap_world = Arc::clone(&world);
@@ -331,8 +659,12 @@ where
                             // deadlock reports included — ever lists it
                             // again. Its result slot stays `None`.
                             el.crashed += 1;
-                            el.waiting[r] = None;
-                            el.handoff[r] = None;
+                            el.crashed_delta += 1;
+                            el.waiting[li] = None;
+                            el.handoff[li] = None;
+                            if el.shared.is_some() {
+                                el.dirty.push(r);
+                            }
                             reap_world.reap_rank(r);
                         } else if !p.is::<ForcedUnwind>() && el.panic_payload.is_none() {
                             el.panic_payload = Some(p);
@@ -340,11 +672,12 @@ where
                     },
                 }
             }
-            // SAFETY: exclusive access (single host thread, no switch).
+            // SAFETY: exclusive access (owning host thread, no switch).
             unsafe {
                 let el = &mut *el_ptr;
-                el.slots[r].done = true;
+                el.slots[li].done = true;
                 el.live -= 1;
+                el.finished_delta += 1;
             }
         };
         // Erase the borrow of `f`/`results`: the fibers are all driven to
@@ -352,20 +685,41 @@ where
         // 'static lifetime is never actually relied upon past it.
         let body: Box<dyn FnOnce()> = Box::new(body);
         let body: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(body) };
-        let slot = &mut el.slots[r];
+        let slot = &mut el.slots[li];
         slot.payload.run = Some(body);
-        slot.payload.final_ctx =
-            (&mut slot.ctx as *mut Context, &el.host_ctx as *const Context);
+        slot.payload.final_ctx = (&mut slot.ctx as *mut Context, &el.host_ctx as *const Context);
         slot.ctx = prepare(&slot.stack, &mut *slot.payload as *mut Payload);
         el.ready.push(Reverse((0, r, WAKE_ENTRY)));
     }
 
     // Nested `run` calls (a rank driving an inner world) save and restore
-    // the outer loop around their own.
+    // the outer scheduler around their own.
     let prev_active = ACTIVE.with(|a| a.replace(el_ptr));
+    if el.shared.is_some() {
+        // SAFETY: el is pinned for the drive; fibers are local.
+        unsafe { drive_gated(el_ptr) };
+    } else if let Err(diag) = unsafe { drive_solo(el_ptr) } {
+        ACTIVE.with(|a| a.set(prev_active));
+        flexio_types::flatten::set_flatten_scope(0);
+        flexio_types::flatten::reset_flatten_cache();
+        panic!("flexio-sim event loop deadlock: {diag}");
+    }
+    ACTIVE.with(|a| a.set(prev_active));
+    // Leave the host thread's flatten cache as cold as we found our own:
+    // scope 0 restored for direct (non-simulated) callers.
+    flexio_types::flatten::set_flatten_scope(0);
+    flexio_types::flatten::reset_flatten_cache();
+    el.panic_payload.take()
+}
+
+/// The sequential driver: repeatedly pop the lowest key of the one global
+/// heap and run that segment. Returns the deadlock diagnostics (fibers
+/// already unwound) instead of panicking so `shard_main` can clean up
+/// thread-locals first.
+unsafe fn drive_solo(el_ptr: *mut Sched) -> Result<(), String> {
     loop {
-        // SAFETY (this block and below): all EventLoop access happens on
-        // this thread in scopes that end before any context switch.
+        // SAFETY (this block and below): all Sched access happens on this
+        // thread in scopes that end before any context switch.
         let next = unsafe {
             let el = &mut *el_ptr;
             if el.live == 0 {
@@ -376,12 +730,12 @@ where
         let Some(Reverse((_clock, r, kind))) = next else {
             // Live ranks but nothing runnable: every one of them is parked
             // on a receive no one will ever send. Report and unwind.
-            let diag = unsafe { deadlock_report(el_ptr) };
-            unsafe { force_unwind_all(el_ptr) };
-            ACTIVE.with(|a| a.set(prev_active));
-            flexio_types::flatten::set_flatten_scope(0);
-            flexio_types::flatten::reset_flatten_cache();
-            panic!("flexio-sim event loop deadlock: {diag}");
+            let diag = unsafe {
+                let el = &*el_ptr;
+                deadlock_message(&el.waiting, el.live, el.nprocs, el.crashed)
+            };
+            unsafe { force_unwind_local(el_ptr) };
+            return Err(diag);
         };
         // Scoped borrow; must end before switching into the fiber.
         let (host, fctx) = {
@@ -413,35 +767,173 @@ where
             let el = &mut *el_ptr;
             assert!(
                 el.slots[r].stack.canary_ok(),
-                "rank {r} overflowed its {stack_bytes}-byte fiber stack \
-                 (raise FLEXIO_SIM_STACK_KB)"
+                "rank {r} overflowed its {}-byte fiber stack (raise FLEXIO_SIM_STACK_KB)",
+                el.stack_bytes
             );
             el.panic_payload.is_some() && !el.unwinding
         };
         if need_unwind {
             // SAFETY: all fibers are parked; `el` outlives them.
-            unsafe { force_unwind_all(el_ptr) };
+            unsafe { force_unwind_local(el_ptr) };
         }
     }
-    ACTIVE.with(|a| a.set(prev_active));
-    // Leave the host thread's flatten cache as cold as we found our own:
-    // scope 0 restored for direct (non-simulated) callers.
-    flexio_types::flatten::set_flatten_scope(0);
-    flexio_types::flatten::reset_flatten_cache();
-
-    if let Some(p) = el.panic_payload.take() {
-        drop(el);
-        resume_unwind(p);
-    }
-    drop(el);
-    results.into_iter().map(|c| c.into_inner()).collect()
+    Ok(())
 }
 
-/// Human-readable summary of who is stuck waiting on what.
-unsafe fn deadlock_report(el: *mut EventLoop) -> String {
-    let el = unsafe { &*el };
-    let mut parked: Vec<String> = el
-        .waiting
+/// The pool driver for one shard: drain the inbox, publish the local
+/// heap's head at the gate, and dispatch only while holding the global
+/// minimum — the exact key the sequential loop would pop next. Everything
+/// segment-local (park bookkeeping, handoffs, crash reaping) happens
+/// lock-free between gate visits and is folded back in at baton release.
+unsafe fn drive_gated(el_ptr: *mut Sched) {
+    // SAFETY: el_ptr is pinned by shard_main for the whole drive; every
+    // deref in here happens on the owning host thread in scopes that end
+    // before a context switch or a condvar wait.
+    let sh = unsafe { Arc::clone((*el_ptr).shared.as_ref().expect("gated drive without a pool")) };
+    let me = unsafe { (*el_ptr).shard };
+    let mut g = sh.gate.lock().unwrap();
+    loop {
+        // Fold the last segment's effects into the gate: republish park
+        // mirrors, live/crash counts, and any rank panic.
+        {
+            let el = unsafe { &mut *el_ptr };
+            for &r in &el.dirty {
+                g.parked[r] = el.waiting[r - el.lo];
+            }
+            el.dirty.clear();
+            g.live -= el.finished_delta;
+            el.finished_delta = 0;
+            g.crashed += el.crashed_delta;
+            el.crashed_delta = 0;
+            if let Some(p) = el.panic_payload.take() {
+                if g.panic_payload.is_none() {
+                    g.panic_payload = Some(p);
+                }
+                if !g.unwinding {
+                    g.unwinding = true;
+                    for c in &sh.cvs {
+                        c.notify_all();
+                    }
+                }
+            }
+        }
+        if g.unwinding {
+            // Teardown: every shard unwinds its own fibers (destructors
+            // run), then reports any destructor panic and leaves.
+            drop(g);
+            unsafe { force_unwind_local(el_ptr) };
+            let p = unsafe { (*el_ptr).panic_payload.take() };
+            if let Some(p) = p {
+                let mut g = sh.gate.lock().unwrap();
+                if g.panic_payload.is_none() {
+                    g.panic_payload = Some(p);
+                }
+            }
+            return;
+        }
+        // Complete pending cross-shard handoffs: the sender already
+        // consumed the park mirror; finish the local half (exactly what
+        // the sequential direct handoff would have done) before
+        // publishing, so the published min includes the wakes.
+        {
+            let el = unsafe { &mut *el_ptr };
+            for d in g.inboxes[me].drain(..) {
+                let li = d.dst - el.lo;
+                debug_assert!(el.waiting[li].is_some(), "inbox delivery for an unparked rank");
+                el.waiting[li] = None;
+                el.handoff[li] = Some(d.msg);
+                el.ready.push(Reverse((d.clock, d.dst, WAKE_ENTRY)));
+            }
+            g.mins[me] = el.ready.peek().map(|&Reverse(k)| k);
+        }
+        if g.live == 0 {
+            for c in &sh.cvs {
+                c.notify_all();
+            }
+            return;
+        }
+        match global_argmin(&g.mins) {
+            None => {
+                // Every shard idle with live ranks remaining: global
+                // deadlock. All mirrors are synced (every shard publishes
+                // before waiting), so the report is complete.
+                if g.deadlock.is_none() {
+                    let nprocs = unsafe { (*el_ptr).nprocs };
+                    g.deadlock = Some(deadlock_message(&g.parked, g.live, nprocs, g.crashed));
+                }
+                g.unwinding = true;
+                for c in &sh.cvs {
+                    c.notify_all();
+                }
+                continue;
+            }
+            Some(s) if s != me => {
+                // Hand the baton towards the holder of the global min and
+                // sleep; re-evaluate on every wake (spurious or not).
+                sh.cvs[s].notify_one();
+                g = sh.cvs[me].wait(g).unwrap();
+                continue;
+            }
+            Some(_) => {}
+        }
+        // Our turn: the head of our heap is the global minimum — the same
+        // key the sequential loop would pop now. `g.mins[me]` deliberately
+        // keeps that key while we run: it fences every other shard (it is
+        // the global min) until we republish.
+        let Reverse((_clock, r, kind)) = unsafe { (*el_ptr).ready.pop().expect("published min vanished") };
+        let (host, fctx) = {
+            let el = unsafe { &mut *el_ptr };
+            let li = r - el.lo;
+            if el.slots[li].done {
+                continue; // stale entry; republish and re-elect
+            }
+            if kind != WAKE_ENTRY {
+                match el.waiting[li] {
+                    Some(w) if w.gen == kind => {
+                        el.waiting[li] = None;
+                        el.timed_out[li] = true;
+                        el.dirty.push(r);
+                    }
+                    _ => continue, // stale timer generation
+                }
+            } else {
+                debug_assert!(el.waiting[li].is_none(), "wake entry for a parked rank");
+            }
+            el.current = r;
+            (&mut el.host_ctx as *mut Context, &el.slots[li].ctx as *const Context)
+        };
+        drop(g); // user code must not run under the gate
+        flexio_types::flatten::set_flatten_scope(r as u64);
+        // SAFETY: fctx is a live suspended (or fresh) fiber context.
+        unsafe { switch_stacks(host, fctx) };
+        let canary_ok = unsafe { (&(*el_ptr).slots)[r - (*el_ptr).lo].stack.canary_ok() };
+        if !canary_ok {
+            // The overflowed stack cannot be safely unwound; surface the
+            // failure through the pool protocol (peers still unwind
+            // cleanly) and let the caller re-raise it.
+            let stack_bytes = unsafe { (*el_ptr).stack_bytes };
+            let msg = format!(
+                "rank {r} overflowed its {stack_bytes}-byte fiber stack (raise FLEXIO_SIM_STACK_KB)"
+            );
+            let mut g = sh.gate.lock().unwrap();
+            if g.panic_payload.is_none() {
+                g.panic_payload = Some(Box::new(msg));
+            }
+            g.unwinding = true;
+            for c in &sh.cvs {
+                c.notify_all();
+            }
+            return;
+        }
+        g = sh.gate.lock().unwrap();
+    }
+}
+
+/// Human-readable summary of who is stuck waiting on what. `waiting` is
+/// indexed by global rank id (the solo driver owns every rank; the pool
+/// passes the gate's park mirror).
+fn deadlock_message(waiting: &[Option<ParkedRecv>], live: usize, nprocs: usize, crashed: usize) -> String {
+    let mut parked: Vec<String> = waiting
         .iter()
         .enumerate()
         .filter_map(|(r, w)| {
@@ -451,15 +943,15 @@ unsafe fn deadlock_report(el: *mut EventLoop) -> String {
     let shown = parked.len().min(8);
     let elided = parked.len() - shown;
     parked.truncate(shown);
-    let mut s = format!("{} of {} ranks parked with no message in flight: ", el.live, el.nprocs);
+    let mut s = format!("{live} of {nprocs} ranks parked with no message in flight: ");
     s.push_str(&parked.join("; "));
     if elided > 0 {
         s.push_str(&format!("; … and {elided} more"));
     }
-    if el.crashed > 0 {
+    if crashed > 0 {
         // Dead ranks are reaped at crash time, so they never appear in
         // the parked list above — only this tally mentions them.
-        s.push_str(&format!(" ({} rank(s) crash-stopped earlier)", el.crashed));
+        s.push_str(&format!(" ({crashed} rank(s) crash-stopped earlier)"));
     }
     s
 }
@@ -467,7 +959,7 @@ unsafe fn deadlock_report(el: *mut EventLoop) -> String {
 #[cfg(test)]
 mod tests {
     use crate::cost::CostModel;
-    use crate::world::{run_on, Backend};
+    use crate::world::{run_crashable_on, run_on, Backend};
     use crate::Phase;
 
     /// A workload exercising every park point: p2p, barrier, bcast,
@@ -495,13 +987,15 @@ mod tests {
     }
 
     #[test]
-    fn event_loop_matches_threads_bit_identically() {
+    fn event_loop_matches_sharded_bit_identically() {
         for p in [1, 2, 5, 8] {
             let ev1 = run_on(Backend::EventLoop, p, CostModel::default(), mixed_workload);
             let ev2 = run_on(Backend::EventLoop, p, CostModel::default(), mixed_workload);
-            let th = run_on(Backend::Threads, p, CostModel::default(), mixed_workload);
             assert_eq!(ev1, ev2, "event loop must be deterministic (p={p})");
-            assert_eq!(ev1, th, "backends must agree on clocks+stats+bytes (p={p})");
+            for k in [1, 2, 3] {
+                let sh = run_on(Backend::Sharded(k), p, CostModel::default(), mixed_workload);
+                assert_eq!(ev1, sh, "sharded pool must match the event loop (p={p}, k={k})");
+            }
         }
     }
 
@@ -537,19 +1031,38 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_reports_match_across_drivers() {
+        let report = |backend| {
+            let got = std::panic::catch_unwind(|| {
+                run_on(backend, 3, CostModel::free(), |r| {
+                    let _ = r.recv((r.rank() + 1) % 3, 9);
+                })
+            });
+            let err = got.expect_err("deadlocked world must panic");
+            err.downcast_ref::<String>().expect("panic carries a String").clone()
+        };
+        let solo = report(Backend::EventLoop);
+        for k in [1, 2, 3] {
+            assert_eq!(solo, report(Backend::Sharded(k)), "deadlock diagnostics diverge at k={k}");
+        }
+    }
+
+    #[test]
     fn rank_panic_propagates_and_unwinds_peers() {
-        let got = std::panic::catch_unwind(|| {
-            run_on(Backend::EventLoop, 4, CostModel::free(), |r| {
-                if r.rank() == 2 {
-                    panic!("boom from rank 2");
-                }
-                // Peers park forever; they must be force-unwound, not leaked.
-                let _ = r.recv((r.rank() + 1) % 4, 1);
-            })
-        });
-        let err = got.expect_err("rank panic must propagate");
-        let msg = err.downcast_ref::<&str>().expect("original payload propagates");
-        assert_eq!(*msg, "boom from rank 2");
+        for backend in [Backend::EventLoop, Backend::Sharded(2)] {
+            let got = std::panic::catch_unwind(|| {
+                run_on(backend, 4, CostModel::free(), |r| {
+                    if r.rank() == 2 {
+                        panic!("boom from rank 2");
+                    }
+                    // Peers park forever; they must be force-unwound, not leaked.
+                    let _ = r.recv((r.rank() + 1) % 4, 1);
+                })
+            });
+            let err = got.expect_err("rank panic must propagate");
+            let msg = err.downcast_ref::<&str>().expect("original payload propagates");
+            assert_eq!(*msg, "boom from rank 2");
+        }
     }
 
     #[test]
@@ -562,24 +1075,26 @@ mod tests {
                 DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
-        DROPS.store(0, Ordering::SeqCst);
-        let _ = std::panic::catch_unwind(|| {
-            run_on(Backend::EventLoop, 3, CostModel::free(), |r| {
-                let _probe = Probe;
-                // Ranks 0 and 1 run first (lower ids at clock 0) and park
-                // with a live Probe on their fiber stacks; then rank 2
-                // panics and the scheduler must unwind the parked two.
-                if r.rank() == 2 {
-                    panic!("teardown");
-                }
-                let _ = r.recv(r.rank(), 5); // parks forever
-            })
-        });
-        assert_eq!(
-            DROPS.load(Ordering::SeqCst),
-            3,
-            "every rank's locals must be dropped, including parked fibers"
-        );
+        for backend in [Backend::EventLoop, Backend::Sharded(2)] {
+            DROPS.store(0, Ordering::SeqCst);
+            let _ = std::panic::catch_unwind(|| {
+                run_on(backend, 3, CostModel::free(), |r| {
+                    let _probe = Probe;
+                    // Ranks 0 and 1 run first (lower ids at clock 0) and park
+                    // with a live Probe on their fiber stacks; then rank 2
+                    // panics and the scheduler must unwind the parked two.
+                    if r.rank() == 2 {
+                        panic!("teardown");
+                    }
+                    let _ = r.recv(r.rank(), 5); // parks forever
+                })
+            });
+            assert_eq!(
+                DROPS.load(Ordering::SeqCst),
+                3,
+                "every rank's locals must be dropped, including parked fibers ({backend:?})"
+            );
+        }
     }
 
     #[test]
@@ -595,18 +1110,33 @@ mod tests {
     }
 
     #[test]
+    fn nested_worlds_inside_a_sharded_pool() {
+        // Outer pool fibers each drive an inner world — including an inner
+        // *pool*, whose shard 0 runs on the outer fiber's stack.
+        let out = run_on(Backend::Sharded(2), 3, CostModel::free(), |r| {
+            let inner = run_on(Backend::Sharded(2), 2, CostModel::free(), |ir| {
+                ir.allreduce_sum(ir.rank() as u64 + 1)
+            });
+            r.allreduce_sum(inner[0])
+        });
+        assert_eq!(out, vec![9, 9, 9]);
+    }
+
+    #[test]
     fn crash_stop_survivors_complete() {
         // Rank 2 crashes at its first checkpoint; survivors re-form the
         // world as a subgroup and finish a collective. Crashed slot None.
-        let out = crate::world::run_crashable(4, CostModel::free(), &[(2, 0)], |r| {
-            r.maybe_crash();
-            let comm = r.subgroup(&[0, 1, 3]);
-            comm.allreduce_sum(r.rank() as u64)
-        });
-        assert!(out[2].is_none(), "crashed rank must not produce a result");
-        for (i, v) in out.iter().enumerate() {
-            if i != 2 {
-                assert_eq!(*v, Some(4), "survivor {i} must complete the collective");
+        for backend in [Backend::EventLoop, Backend::Sharded(3)] {
+            let out = run_crashable_on(backend, 4, CostModel::free(), &[(2, 0)], |r| {
+                r.maybe_crash();
+                let comm = r.subgroup(&[0, 1, 3]);
+                comm.allreduce_sum(r.rank() as u64)
+            });
+            assert!(out[2].is_none(), "crashed rank must not produce a result");
+            for (i, v) in out.iter().enumerate() {
+                if i != 2 {
+                    assert_eq!(*v, Some(4), "survivor {i} must complete the collective");
+                }
             }
         }
     }
@@ -634,14 +1164,16 @@ mod tests {
     #[test]
     fn recv_timeout_is_deterministic() {
         // Nothing ever arrives: the watchdog fires at exactly the
-        // deadline, twice in a row.
-        for _ in 0..2 {
-            let out = crate::world::run_crashable(2, CostModel::free(), &[(1, 0)], |r| {
-                r.maybe_crash();
-                let got = r.recv_timeout(1, 5, 12_345);
-                (got.is_none(), r.now())
-            });
-            assert_eq!(out[0], Some((true, 12_345)));
+        // deadline, twice in a row — under both drivers.
+        for backend in [Backend::EventLoop, Backend::Sharded(2)] {
+            for _ in 0..2 {
+                let out = run_crashable_on(backend, 2, CostModel::free(), &[(1, 0)], |r| {
+                    r.maybe_crash();
+                    let got = r.recv_timeout(1, 5, 12_345);
+                    (got.is_none(), r.now())
+                });
+                assert_eq!(out[0], Some((true, 12_345)));
+            }
         }
     }
 
@@ -662,20 +1194,23 @@ mod tests {
     fn stale_park_timer_is_skipped() {
         // Rank 0's first timed park is satisfied long before its deadline;
         // the leftover timer entry must not disturb the second, untimed
-        // park (generation check).
-        let out = crate::world::run_crashable(2, CostModel::default(), &[], |r| {
-            if r.rank() == 1 {
-                r.send(0, 1, b"fast");
-                r.advance(50_000_000); // well past rank 0's first deadline
-                r.send(0, 2, b"late");
-                Vec::new()
-            } else {
-                let a = r.recv_timeout(1, 1, r.now() + 10_000_000).expect("fast msg");
-                let b = r.recv(1, 2);
-                [a, b].concat()
-            }
-        });
-        assert_eq!(out[0].as_deref(), Some(b"fastlate".as_slice()));
+        // park (generation check). With two shards the satisfying send is
+        // a cross-shard inbox delivery.
+        for backend in [Backend::EventLoop, Backend::Sharded(2)] {
+            let out = run_crashable_on(backend, 2, CostModel::default(), &[], |r| {
+                if r.rank() == 1 {
+                    r.send(0, 1, b"fast");
+                    r.advance(50_000_000); // well past rank 0's first deadline
+                    r.send(0, 2, b"late");
+                    Vec::new()
+                } else {
+                    let a = r.recv_timeout(1, 1, r.now() + 10_000_000).expect("fast msg");
+                    let b = r.recv(1, 2);
+                    [a, b].concat()
+                }
+            });
+            assert_eq!(out[0].as_deref(), Some(b"fastlate".as_slice()));
+        }
     }
 
     #[test]
@@ -701,24 +1236,39 @@ mod tests {
     fn messages_to_dead_ranks_are_dropped() {
         // The survivor eagerly sends to the dead rank; nothing leaks, the
         // world still terminates cleanly.
-        let out = crate::world::run_crashable(2, CostModel::free(), &[(1, 0)], |r| {
-            if r.rank() == 0 {
-                r.recv_timeout(1, 7, 1_000); // let rank 1 die first
-                for _ in 0..4 {
-                    r.send(1, 3, &[0; 64]);
+        for backend in [Backend::EventLoop, Backend::Sharded(2)] {
+            let out = run_crashable_on(backend, 2, CostModel::free(), &[(1, 0)], |r| {
+                if r.rank() == 0 {
+                    r.recv_timeout(1, 7, 1_000); // let rank 1 die first
+                    for _ in 0..4 {
+                        r.send(1, 3, &[0; 64]);
+                    }
+                } else {
+                    r.maybe_crash();
                 }
-            } else {
-                r.maybe_crash();
-            }
-            r.rank()
-        });
-        assert_eq!(out, vec![Some(0), None]);
+                r.rank()
+            });
+            assert_eq!(out, vec![Some(0), None]);
+        }
     }
 
     #[test]
-    fn threads_escape_hatch_env() {
-        // from_env honours FLEXIO_SIM_THREADS; don't mutate the process
-        // env here (tests run threaded) — just check the parse contract.
-        assert!(Backend::event_loop_supported() || Backend::from_env() == Backend::Threads);
+    fn shards_env_parse_contract() {
+        // from_env honours FLEXIO_SIM_SHARDS; don't mutate the process env
+        // here (tests run threaded) — just check the parse contract on
+        // whatever the harness set: unset/0/1 mean the sequential loop,
+        // n >= 2 means an n-shard pool.
+        match Backend::from_env() {
+            Backend::EventLoop => {}
+            Backend::Sharded(k) => assert!(k >= 2, "from_env only pools at 2+ shards"),
+        }
+    }
+
+    #[test]
+    fn shards_beyond_ranks_clamp() {
+        // More shards than ranks: the pool clamps to one rank per shard.
+        let out = run_on(Backend::Sharded(16), 3, CostModel::default(), mixed_workload);
+        let ev = run_on(Backend::EventLoop, 3, CostModel::default(), mixed_workload);
+        assert_eq!(out, ev);
     }
 }

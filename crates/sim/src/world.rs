@@ -5,44 +5,58 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 
 /// Panic payload raised by [`crate::rank::Rank::maybe_crash`] when a rank
-/// reaches its scheduled crash time: the event loop recognizes it, marks
+/// reaches its scheduled crash time: the scheduler recognizes it, marks
 /// the rank dead (reaping its mailbox), and keeps driving the survivors —
 /// the simulation analogue of a crash-stop process failure.
 pub(crate) struct CrashStop;
 
-/// Which rank runtime drives a world's ranks.
+/// Which rank runtime drives a world's ranks. Both are the same fiber
+/// scheduler; they differ only in how many host threads drive it, and
+/// they produce bit-identical clocks, Stats, and bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// One host thread drives every rank as a cooperatively-scheduled
     /// fiber over virtual time, lowest clock first (deterministic by
     /// construction; supports thousands of ranks per process). The
-    /// default wherever supported.
+    /// default.
     EventLoop,
-    /// One OS thread per rank, blocking on `Condvar` mailboxes — the
-    /// original runtime, kept as a transitional escape hatch
-    /// (`FLEXIO_SIM_THREADS=1`) and as the fallback on architectures
-    /// without fiber support.
-    Threads,
+    /// A pool of `n` host threads, ranks partitioned by id into
+    /// contiguous shards, cross-shard delivery through gate-protected
+    /// inboxes, dispatch serialized on the global minimum key
+    /// (`FLEXIO_SIM_SHARDS=n`; clamped to `1..=nprocs`). Bit-identical
+    /// to [`Backend::EventLoop`] regardless of shard count or host-
+    /// thread interleaving; spreads scheduler state across threads at
+    /// high rank counts.
+    Sharded(usize),
 }
 
 impl Backend {
-    /// The backend `run` uses: the event loop, unless `FLEXIO_SIM_THREADS`
-    /// is set to `1`/`true` or the architecture lacks fiber support.
+    /// The backend `run` uses: an `n`-shard pool when `FLEXIO_SIM_SHARDS`
+    /// is set to `n >= 2`, the sequential event loop otherwise (`0` and
+    /// `1` mean sequential too).
     pub fn from_env() -> Backend {
-        if !Backend::event_loop_supported() {
-            return Backend::Threads;
-        }
-        match std::env::var("FLEXIO_SIM_THREADS") {
-            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Backend::Threads,
-            _ => Backend::EventLoop,
+        match std::env::var("FLEXIO_SIM_SHARDS") {
+            Ok(v) => {
+                let n: usize = v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("FLEXIO_SIM_SHARDS must be a shard count, got {v:?}"));
+                if n >= 2 {
+                    Backend::Sharded(n)
+                } else {
+                    Backend::EventLoop
+                }
+            }
+            Err(_) => Backend::EventLoop,
         }
     }
 
-    /// Whether the event-loop backend is available on this build target
-    /// (the fiber layer is x86_64-only).
+    /// Whether the fiber runtime is available on this build target (the
+    /// fiber layer is x86_64-only; since the thread-per-rank runtime's
+    /// retirement there is no fallback elsewhere).
     pub fn event_loop_supported() -> bool {
         cfg!(target_arch = "x86_64")
     }
@@ -87,25 +101,18 @@ impl Hasher for TagHasher {
 
 type QueueMap = HashMap<(usize, u64), VecDeque<Msg>, BuildHasherDefault<TagHasher>>;
 
-#[derive(Default)]
-pub(crate) struct MailboxInner {
-    pub queues: QueueMap,
-    /// The `(src, tag)` queue the owning rank is blocked on, if any —
-    /// lets `deliver` wake exactly the receiver whose queue it filled
-    /// (`notify_one`) instead of herding every sleeper with `notify_all`.
-    /// Threaded backend only; the event loop tracks parked ranks itself.
-    pub waiting_for: Option<(usize, u64)>,
-}
-
-/// One rank's incoming-message store.
+/// One rank's incoming-message store. Only the overflow path — deliveries
+/// that found no matching parked receiver — lands here; the mutex also
+/// carries cross-shard queue/pop ordering under the sharded pool (only
+/// one shard dispatches at a time, so it is never contended on the
+/// simulation's critical path).
 pub(crate) struct Mailbox {
-    pub inner: Mutex<MailboxInner>,
-    pub cv: Condvar,
+    pub queues: Mutex<QueueMap>,
 }
 
 impl Mailbox {
     fn new() -> Self {
-        Mailbox { inner: Mutex::new(MailboxInner::default()), cv: Condvar::new() }
+        Mailbox { queues: Mutex::new(QueueMap::default()) }
     }
 }
 
@@ -163,9 +170,7 @@ impl World {
     /// already-dead ranks.
     pub(crate) fn reap_rank(&self, rank: usize) {
         self.dead[rank].store(true, Ordering::Relaxed);
-        let mut inner = self.mailboxes[rank].inner.lock().unwrap();
-        inner.queues.clear();
-        inner.waiting_for = None;
+        self.mailboxes[rank].queues.lock().unwrap().clear();
     }
 
     /// Number of ranks.
@@ -184,69 +189,47 @@ impl World {
         if self.is_dead(dst) {
             return;
         }
-        // Event-loop fast path: a receiver already parked on exactly
-        // `(src, tag)` gets the message handed to it directly — on the
-        // single host thread its queue is provably empty, so FIFO order
-        // holds and the map and lock are skipped entirely.
+        // Fast path: a receiver already parked on exactly `(src, tag)`
+        // gets the message handed to it directly (same-shard: lock-free
+        // slot; cross-shard: gate inbox). When it is parked, its queue is
+        // provably empty — only its owning shard could have filled it and
+        // it drained before parking — so FIFO order holds.
         let Some(msg) = crate::sched::try_handoff(self, dst, src, tag, msg) else {
             return;
         };
-        let mb = &self.mailboxes[dst];
-        let mut inner = mb.inner.lock().unwrap();
-        inner.queues.entry((src, tag)).or_default().push_back(msg);
-        if inner.waiting_for == Some((src, tag)) {
-            // Threaded backend: wake exactly the rank whose queue this
-            // filled. (Each mailbox has one owner, so one sleeper.)
-            mb.cv.notify_one();
-        }
+        let mut queues = self.mailboxes[dst].queues.lock().unwrap();
+        queues.entry((src, tag)).or_default().push_back(msg);
     }
 
     /// Pop the next message from `(src, tag)` for rank `dst`, parking the
     /// caller until one arrives. `now` is the receiver's virtual clock —
-    /// its wake-up priority under the event-loop backend.
+    /// its wake-up priority.
     pub(crate) fn take(&self, dst: usize, src: usize, tag: u64, now: u64) -> Msg {
-        if crate::sched::event_loop_active_for(self) {
-            loop {
-                if let Some(m) = Self::pop_queued(&self.mailboxes[dst], src, tag) {
-                    return m;
-                }
-                // Parking resumes with the message in hand when the
-                // delivery matched (the common case); a spurious resume
-                // re-checks the queue.
-                match crate::sched::park_for_recv(self, dst, src, tag, now, None) {
-                    crate::sched::ParkWake::Delivered(m) => return m,
-                    crate::sched::ParkWake::Spurious => continue,
-                    crate::sched::ParkWake::TimedOut => {
-                        unreachable!("deadline-free park cannot time out")
-                    }
-                }
-            }
-        }
-        let mb = &self.mailboxes[dst];
-        let mut inner = mb.inner.lock().unwrap();
+        assert!(
+            crate::sched::scheduler_active_for(self),
+            "recv outside the rank runtime (ranks only run inside flexio_sim::run)"
+        );
         loop {
-            if let Entry::Occupied(mut e) = inner.queues.entry((src, tag)) {
-                // The queue exists iff it has a message (drained queues
-                // are removed so unique collective tags can't grow the
-                // map without bound).
-                let m = e.get_mut().pop_front().expect("empty queue left in mailbox map");
-                if e.get().is_empty() {
-                    e.remove();
-                }
-                inner.waiting_for = None;
+            if let Some(m) = Self::pop_queued(&self.mailboxes[dst], src, tag) {
                 return m;
             }
-            // Publish what we're blocked on *before* releasing the lock
-            // (cv.wait is atomic), so a concurrent deliver can't miss us.
-            inner.waiting_for = Some((src, tag));
-            inner = mb.cv.wait(inner).unwrap();
+            // Parking resumes with the message in hand when the delivery
+            // matched (the common case); a spurious resume re-checks the
+            // queue.
+            match crate::sched::park_for_recv(self, dst, src, tag, now, None) {
+                crate::sched::ParkWake::Delivered(m) => return m,
+                crate::sched::ParkWake::Spurious => continue,
+                crate::sched::ParkWake::TimedOut => {
+                    unreachable!("deadline-free park cannot time out")
+                }
+            }
         }
     }
 
     /// [`World::take`] with a virtual-time watchdog: returns `None` when
     /// no matching message has been delivered by `deadline` (absolute
-    /// virtual ns). Event-loop backend only — the deterministic timer is
-    /// a scheduler feature, and crash detection is what needs it.
+    /// virtual ns). The deterministic timer is a scheduler feature, and
+    /// crash detection is what needs it.
     pub(crate) fn take_deadline(
         &self,
         dst: usize,
@@ -256,8 +239,8 @@ impl World {
         deadline: u64,
     ) -> Option<Msg> {
         assert!(
-            crate::sched::event_loop_active_for(self),
-            "recv_timeout requires the event-loop backend (unset FLEXIO_SIM_THREADS)"
+            crate::sched::scheduler_active_for(self),
+            "recv_timeout outside the rank runtime (ranks only run inside flexio_sim::run)"
         );
         loop {
             if let Some(m) = Self::pop_queued(&self.mailboxes[dst], src, tag) {
@@ -276,10 +259,11 @@ impl World {
     }
 
     /// Pop the head of `(src, tag)` if present, removing the queue when
-    /// that drains it.
+    /// that drains it (drained queues are removed so unique collective
+    /// tags can't grow the map without bound).
     fn pop_queued(mb: &Mailbox, src: usize, tag: u64) -> Option<Msg> {
-        let mut inner = mb.inner.lock().unwrap();
-        if let Entry::Occupied(mut e) = inner.queues.entry((src, tag)) {
+        let mut queues = mb.queues.lock().unwrap();
+        if let Entry::Occupied(mut e) = queues.entry((src, tag)) {
             let m = e.get_mut().pop_front().expect("empty queue left in mailbox map");
             if e.get().is_empty() {
                 e.remove();
@@ -292,7 +276,8 @@ impl World {
 
 /// Run `f` on every rank of a fresh world and return the per-rank results
 /// in rank order. Panics in any rank propagate. Uses
-/// [`Backend::from_env`]: the event loop unless `FLEXIO_SIM_THREADS=1`.
+/// [`Backend::from_env`]: the sequential event loop unless
+/// `FLEXIO_SIM_SHARDS` requests a pool.
 pub fn run<R, F>(nprocs: usize, cost: CostModel, f: F) -> Vec<R>
 where
     R: Send,
@@ -301,28 +286,29 @@ where
     run_on(Backend::from_env(), nprocs, cost, f)
 }
 
-/// [`run`] on an explicitly chosen backend. `Backend::EventLoop` falls
-/// back to threads where unsupported (see [`Backend::event_loop_supported`]).
+/// [`run`] on an explicitly chosen backend.
 pub fn run_on<R, F>(backend: Backend, nprocs: usize, cost: CostModel, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&crate::rank::Rank) -> R + Sync,
 {
+    assert!(
+        Backend::event_loop_supported(),
+        "the flexio-sim rank runtime requires x86_64 stackful fibers \
+         (the thread-per-rank fallback was retired)"
+    );
     let world = World::new(nprocs, cost);
     match backend {
-        Backend::EventLoop if Backend::event_loop_supported() => {
-            crate::sched::run_event_loop(world, f)
-        }
-        _ => run_threaded(world, f),
+        Backend::EventLoop => crate::sched::run_event_loop(world, f),
+        Backend::Sharded(k) => crate::sched::run_pool(world, k, f),
     }
 }
 
 /// Run `f` on every rank of a fresh world carrying a crash-stop schedule:
 /// each `(rank, at_ns)` pair kills that rank at its first
 /// [`Rank::maybe_crash`] check at or past `at_ns` of virtual time.
-/// Crashed ranks return `None`; survivors return `Some`. Requires the
-/// event-loop backend (the only runtime that can reap a dead fiber and
-/// keep the world running); panics where it is unsupported.
+/// Crashed ranks return `None`; survivors return `Some`. Uses
+/// [`Backend::from_env`].
 ///
 /// [`Rank::maybe_crash`]: crate::rank::Rank::maybe_crash
 pub fn run_crashable<R, F>(
@@ -335,33 +321,59 @@ where
     R: Send,
     F: Fn(&crate::rank::Rank) -> R + Sync,
 {
-    assert!(
-        Backend::event_loop_supported(),
-        "crash-stop simulation requires the event-loop backend"
-    );
-    let world = World::with_crashes(nprocs, cost, crashes);
-    crate::sched::run_event_loop_partial(world, f)
+    run_crashable_on(Backend::from_env(), nprocs, cost, crashes, f)
 }
 
-fn run_threaded<R, F>(world: Arc<World>, f: F) -> Vec<R>
+/// [`run_crashable`] on an explicitly chosen backend.
+pub fn run_crashable_on<R, F>(
+    backend: Backend,
+    nprocs: usize,
+    cost: CostModel,
+    crashes: &[(usize, u64)],
+    f: F,
+) -> Vec<Option<R>>
 where
     R: Send,
     F: Fn(&crate::rank::Rank) -> R + Sync,
 {
-    let nprocs = world.nprocs;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..nprocs)
-            .map(|r| {
-                let world = Arc::clone(&world);
-                let f = &f;
-                s.spawn(move || {
-                    let rank = crate::rank::Rank::new(world, r);
-                    f(&rank)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-    })
+    assert!(
+        Backend::event_loop_supported(),
+        "crash-stop simulation requires the fiber rank runtime (x86_64)"
+    );
+    let world = World::with_crashes(nprocs, cost, crashes);
+    match backend {
+        Backend::EventLoop => crate::sched::run_event_loop_partial(world, f),
+        Backend::Sharded(k) => crate::sched::run_pool_partial(world, k, None, f),
+    }
+}
+
+/// Determinism-harness entry: [`run`] on a `shards`-wide pool whose
+/// spawned host threads start with a pseudo-random stagger of up to
+/// `max_jitter_us` wall microseconds (derived from `seed`), deliberately
+/// perturbing host scheduling. The result must still be bit-identical to
+/// [`Backend::EventLoop`] — that is the pool's whole contract — so this
+/// exists for tests to prove it under hostile interleavings.
+pub fn run_jittered<R, F>(
+    nprocs: usize,
+    cost: CostModel,
+    shards: usize,
+    seed: u64,
+    max_jitter_us: u64,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&crate::rank::Rank) -> R + Sync,
+{
+    assert!(
+        Backend::event_loop_supported(),
+        "the flexio-sim rank runtime requires x86_64 stackful fibers"
+    );
+    let world = World::new(nprocs, cost);
+    crate::sched::run_pool_partial(world, shards, Some((seed, max_jitter_us.saturating_mul(1000))), f)
+        .into_iter()
+        .map(|r| r.expect("rank finished without a result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -372,6 +384,25 @@ mod tests {
     fn run_returns_rank_order() {
         let out = run(4, CostModel::free(), |r| r.rank() * 10);
         assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn sharded_run_returns_rank_order() {
+        for k in [1, 2, 3, 7] {
+            let out = run_on(Backend::Sharded(k), 4, CostModel::free(), |r| r.rank() * 10);
+            assert_eq!(out, vec![0, 10, 20, 30], "k={k}");
+        }
+    }
+
+    #[test]
+    fn jittered_pool_matches_event_loop() {
+        let ev = run(5, CostModel::default(), |r| (r.now(), r.allreduce_sum(r.rank() as u64)));
+        for seed in 0..3u64 {
+            let j = run_jittered(5, CostModel::default(), 3, seed, 200, |r| {
+                (r.now(), r.allreduce_sum(r.rank() as u64))
+            });
+            assert_eq!(ev, j, "seed={seed}");
+        }
     }
 
     #[test]

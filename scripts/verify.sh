@@ -89,10 +89,24 @@ if [ "$THOROUGH" = 1 ]; then
       cargo test -q --release --offline --test workload_fuzz crash_point_fuzz
   done
 
-  # Scale leg: the 4096-rank collective write/read smoke (event-loop
-  # backend, byte-identity + phase-sum invariants) and the host_scale
-  # sanity check (one host thread must beat 256 OS threads).
-  echo "== 4096-rank scale smoke (tests/scale_smoke.rs, ignored set) =="
+  # Sharded-pool leg: route every `Backend::from_env` world in the
+  # backend-sensitive suites onto the pool at two widths (an even and an
+  # odd one) and demand the full determinism battery holds. Specific
+  # --test targets only: unit tests assume an unmutated environment.
+  for k in 4 7; do
+    echo "== sharded-pool sweep (FLEXIO_SIM_SHARDS=$k) =="
+    FLEXIO_SIM_SHARDS="$k" \
+      FLEXIO_PROP_SEED="${FLEXIO_PROP_SEED:-0xf1e810}" \
+      PROPTEST_CASES="${PROPTEST_CASES:-512}" \
+      cargo test -q --release --offline \
+        --test sim_backend_parity --test shard_determinism --test workload_fuzz
+  done
+
+  # Scale leg: the 4096-rank (event-loop) and 16384-rank (sharded pool)
+  # collective write/read smokes (byte-identity + phase-sum invariants)
+  # and the host_scale sanity check (the pool must stay within the
+  # livelock-guard bound of the sequential loop).
+  echo "== 4096/16384-rank scale smoke (tests/scale_smoke.rs, ignored set) =="
   cargo test -q --release --offline --test scale_smoke -- --ignored
 
   echo "== host_scale sanity (--check) =="

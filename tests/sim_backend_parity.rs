@@ -1,22 +1,21 @@
-//! Backend determinism regression suite (ISSUE 7 satellite).
+//! Backend determinism regression suite (ISSUE 7 satellite, extended by
+//! ISSUE 10 to the sharded host-thread pool).
 //!
-//! The event-loop rank runtime must be a drop-in replacement for the
-//! threaded one:
+//! The sharded pool must be a drop-in replacement for the sequential
+//! event loop at **every** shard count:
 //!
 //! * **Determinism by construction** — two event-loop runs of the same
 //!   workload are bit-identical in everything: virtual clocks, the full
 //!   `Stats` struct (including `bytes_copied`, `overlap_saved_ns`, phase
 //!   buckets), read-back buffers, and the bytes on the PFS.
-//! * **Thread parity, order-insensitive workloads** — where the threaded
-//!   backend is itself deterministic (pure collectives with no file
-//!   system, or a single aggregator owning the PFS), the two backends
-//!   agree bit for bit on clocks and full `Stats`.
-//! * **Thread parity, racy workloads** — with several aggregators racing
-//!   on a shared OST clock the threaded backend's completion times depend
-//!   on OS scheduling (even at zero service cost: completion is
-//!   `max(ost_clock, arrival)`; see DESIGN.md "Rank runtime"), so there
-//!   the comparison is on what threads do pin down: file images,
-//!   read-back bytes, and the order-insensitive work counters.
+//! * **Shard parity, unconditionally** — the pool serializes dispatch on
+//!   the global minimum `(clock, rank)` key (DESIGN.md "Rank runtime"),
+//!   so unlike the retired thread-per-rank backend there is no "racy
+//!   workload" carve-out: clocks, full `Stats`, read-back bytes, and file
+//!   images must match the sequential loop bit for bit at shard counts
+//!   {1, 2, 4, 7}, including the paper-scale configuration with several
+//!   aggregators racing a shared OST clock that threads could never pin
+//!   down.
 //! * Phase buckets always sum to each rank's elapsed clock.
 
 use flexio::core::{Engine, ExchangeMode, Hints, MpiFile};
@@ -26,6 +25,11 @@ use flexio::types::Datatype;
 use std::sync::Arc;
 
 const BLOCK: u64 = 64;
+
+/// Every pool width the suite exercises against the sequential loop:
+/// degenerate (1), even splits (2, 4), and an odd width (7) that leaves
+/// unequal shards at every world size used here.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
 fn pfs_with(cost: PfsCostModel) -> Arc<Pfs> {
     Pfs::new(PfsConfig {
@@ -96,24 +100,6 @@ fn parity_run(
     (out, image)
 }
 
-/// The `Stats` fields that are a pure function of the workload even when
-/// OS scheduling perturbs timed-PFS service order: work done, not time
-/// taken.
-fn work_counters(s: &Stats) -> [u64; 10] {
-    [
-        s.msgs_sent,
-        s.bytes_sent,
-        s.pairs_processed,
-        s.memcpy_bytes,
-        s.bytes_copied,
-        s.schedule_cache_hits,
-        s.schedule_cache_misses,
-        s.flatten_cache_hits,
-        s.flatten_cache_misses,
-        s.io_retries,
-    ]
-}
-
 fn assert_phase_sums(out: &[(u64, Stats, Vec<u8>)], label: &str) {
     for (r, (now, s, _)) in out.iter().enumerate() {
         assert_eq!(
@@ -125,14 +111,12 @@ fn assert_phase_sums(out: &[(u64, Stats, Vec<u8>)], label: &str) {
 }
 
 #[test]
-fn pure_collectives_bit_identical_across_backends() {
+fn pure_collectives_bit_identical_across_shards() {
     if !Backend::event_loop_supported() {
         return;
     }
-    // No file system at all: the network model is order-insensitive (each
-    // receive completes at max(local, avail_at) + overhead over FIFO
-    // queues), so the threaded backend is fully deterministic here and
-    // clocks + full Stats must match bit for bit.
+    // No file system at all: pure point-to-point and collective traffic,
+    // including payload-dependent branches, across every shard boundary.
     let workload = |r: &flexio::sim::Rank| {
         let p = r.nprocs();
         r.send((r.rank() + 1) % p, 1, &[r.rank() as u8; 48]);
@@ -151,84 +135,83 @@ fn pure_collectives_bit_identical_across_backends() {
     };
     for p in [2usize, 16, 64] {
         let ev = run_on(Backend::EventLoop, p, CostModel::default(), workload);
-        let th = run_on(Backend::Threads, p, CostModel::default(), workload);
-        assert_eq!(ev, th, "p={p}: clocks/stats/bytes diverge across backends");
-    }
-}
-
-#[test]
-fn event_loop_bit_identical_to_threads_on_order_insensitive_workloads() {
-    if !Backend::event_loop_supported() {
-        return;
-    }
-    // A single aggregator owns the PFS, so OST service order is its own
-    // program order and the threaded backend is deterministic — full
-    // bit-identity must hold for both cost models. (With several
-    // aggregators racing a shared OST clock, even zero service time is
-    // order-sensitive: completion is max(ost_clock, arrival).)
-    let cases = [(PfsCostModel::free(), 8usize), (PfsCostModel::default(), 6)];
-    let cb = 1usize;
-    for engine in [Engine::Flexible, Engine::Romio] {
-        for (cost, nprocs) in cases {
-            let (ev, ev_img) = parity_run(Backend::EventLoop, cost, engine, nprocs, 16, 3, cb);
-            let (th, th_img) = parity_run(Backend::Threads, cost, engine, nprocs, 16, 3, cb);
-            assert_eq!(ev_img, th_img, "{engine:?} cb={cb}: file images diverge");
-            for r in 0..nprocs {
-                assert_eq!(
-                    ev[r], th[r],
-                    "{engine:?} cb={cb}: rank {r} (clock, full Stats, read-back) diverge"
-                );
-            }
-            assert_phase_sums(&ev, "event loop");
-            assert_phase_sums(&th, "threads");
+        for k in SHARD_COUNTS {
+            let sh = run_on(Backend::Sharded(k), p, CostModel::default(), workload);
+            assert_eq!(ev, sh, "p={p} shards={k}: clocks/stats/bytes diverge");
         }
     }
 }
 
 #[test]
-fn event_loop_deterministic_at_paper_scale() {
+fn collective_io_bit_identical_across_shards() {
     if !Backend::event_loop_supported() {
         return;
     }
-    // Timed PFS, several racing aggregators, both engines, two exchange
-    // modes folded in via defaults — the configuration where the threaded
-    // backend is *not* clock-deterministic. The event loop must be.
+    // Free and timed PFS cost models, single aggregator (cb 1): the
+    // smallest I/O-path configuration, both engines.
+    let cases = [(PfsCostModel::free(), 8usize), (PfsCostModel::default(), 6)];
+    let cb = 1usize;
+    for engine in [Engine::Flexible, Engine::Romio] {
+        for (cost, nprocs) in cases {
+            let (ev, ev_img) = parity_run(Backend::EventLoop, cost, engine, nprocs, 16, 3, cb);
+            assert_phase_sums(&ev, "event loop");
+            for k in SHARD_COUNTS {
+                let (sh, sh_img) =
+                    parity_run(Backend::Sharded(k), cost, engine, nprocs, 16, 3, cb);
+                assert_eq!(ev_img, sh_img, "{engine:?} cb={cb} shards={k}: images diverge");
+                for r in 0..nprocs {
+                    assert_eq!(
+                        ev[r], sh[r],
+                        "{engine:?} cb={cb} shards={k}: rank {r} (clock, full Stats, \
+                         read-back) diverge"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_scale_bit_identical_across_shards() {
+    if !Backend::event_loop_supported() {
+        return;
+    }
+    // Timed PFS, several racing aggregators, both engines — the
+    // configuration where the retired thread-per-rank backend was *not*
+    // clock-deterministic and the old suite had to fall back to
+    // order-insensitive work counters. The pool has no such carve-out:
+    // the min-gate serializes OST service order exactly as the sequential
+    // loop would, so full bit-identity holds at every shard count.
     for engine in [Engine::Flexible, Engine::Romio] {
         let (a, a_img) =
             parity_run(Backend::EventLoop, PfsCostModel::default(), engine, 16, 24, 3, 4);
         let (b, b_img) =
             parity_run(Backend::EventLoop, PfsCostModel::default(), engine, 16, 24, 3, 4);
         assert_eq!(a_img, b_img, "{engine:?}: event-loop file images diverge across runs");
-        for r in 0..16 {
-            assert_eq!(
-                a[r], b[r],
-                "{engine:?}: rank {r} not bit-identical across event-loop runs"
-            );
-        }
+        assert_eq!(a, b, "{engine:?}: event loop not bit-identical across runs");
         assert_phase_sums(&a, "event loop");
 
-        // Threads pin down the bytes and the work, not the clocks.
-        let (th, th_img) =
-            parity_run(Backend::Threads, PfsCostModel::default(), engine, 16, 24, 3, 4);
-        assert_eq!(a_img, th_img, "{engine:?}: threaded file image diverges");
-        for r in 0..16 {
-            assert_eq!(a[r].2, th[r].2, "{engine:?}: rank {r} read-back diverges");
-            assert_eq!(
-                work_counters(&a[r].1),
-                work_counters(&th[r].1),
-                "{engine:?}: rank {r} work counters diverge"
-            );
+        for k in SHARD_COUNTS {
+            let (sh, sh_img) =
+                parity_run(Backend::Sharded(k), PfsCostModel::default(), engine, 16, 24, 3, 4);
+            assert_eq!(a_img, sh_img, "{engine:?} shards={k}: file image diverges");
+            for r in 0..16 {
+                assert_eq!(
+                    a[r], sh[r],
+                    "{engine:?} shards={k}: rank {r} not bit-identical to the event loop"
+                );
+            }
+            assert_phase_sums(&sh, "sharded pool");
         }
-        assert_phase_sums(&th, "threads");
     }
 }
 
 #[test]
-fn exchange_modes_identical_across_backends() {
+fn exchange_modes_identical_across_shards() {
     if !Backend::event_loop_supported() {
         return;
     }
-    // Both exchange flavours, single aggregator: full bit-identity.
+    // Both exchange flavours at every shard count: full bit-identity.
     for exchange in [ExchangeMode::Nonblocking, ExchangeMode::Alltoallw] {
         let run_one = |backend: Backend| {
             let pfs = pfs_with(PfsCostModel::free());
@@ -236,7 +219,7 @@ fn exchange_modes_identical_across_backends() {
             let out = run_on(backend, 8, CostModel::default(), move |rank| {
                 let hints = Hints {
                     exchange,
-                    cb_nodes: Some(1),
+                    cb_nodes: Some(4),
                     cb_buffer_size: 256,
                     ..Hints::default()
                 };
@@ -252,8 +235,10 @@ fn exchange_modes_identical_across_backends() {
             (out, read_file(&pfs, "xmode"))
         };
         let (ev, ev_img) = run_one(Backend::EventLoop);
-        let (th, th_img) = run_one(Backend::Threads);
-        assert_eq!(ev_img, th_img, "{exchange:?}: images diverge");
-        assert_eq!(ev, th, "{exchange:?}: clocks/stats diverge");
+        for k in SHARD_COUNTS {
+            let (sh, sh_img) = run_one(Backend::Sharded(k));
+            assert_eq!(ev_img, sh_img, "{exchange:?} shards={k}: images diverge");
+            assert_eq!(ev, sh, "{exchange:?} shards={k}: clocks/stats diverge");
+        }
     }
 }
