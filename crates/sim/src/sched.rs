@@ -128,12 +128,22 @@ struct InboxDelivery {
 /// State behind the pool's min-gate mutex.
 struct Gate {
     /// Head of each shard's ready heap as of its last gate visit. A
-    /// running shard's entry stays at the key it is executing, which
-    /// (being the global min at selection time) keeps every other shard
-    /// fenced until it returns and republishes.
+    /// running shard's entry stays at the key it is executing until it
+    /// returns and republishes — but that alone does not fence the
+    /// world, because the runner's own cross-shard deliveries can push
+    /// smaller keys under other shards' mins; [`Gate::running`] does.
     mins: Vec<Option<Key>>,
     /// Pending cross-shard deliveries, per target shard.
     inboxes: Vec<Vec<InboxDelivery>>,
+    /// The shard currently executing a dispatched segment (gate
+    /// released). While `Some`, no other shard may dispatch: a
+    /// cross-shard delivery can lower a sleeping shard's published min
+    /// *below* the running shard's fenced key (park-time clocks routinely
+    /// trail the global min), and `Condvar::wait` permits spurious
+    /// wakeups — without this fence, a spuriously woken shard could win
+    /// the argmin and race the in-flight segment on shared stateful
+    /// resources (OST ratchets, fault draws).
+    running: Option<usize>,
     /// Park mirror: every rank's park state as of its shard's last baton
     /// release. Consulted (and consumed) by cross-shard senders.
     parked: Vec<Option<ParkedRecv>>,
@@ -496,6 +506,7 @@ where
             // to reorder anything).
             mins: (0..k).map(|s| Some((0, starts[s], WAKE_ENTRY))).collect(),
             inboxes: (0..k).map(|_| Vec::new()).collect(),
+            running: None,
             parked: vec![None; nprocs],
             live: nprocs,
             crashed: 0,
@@ -505,7 +516,27 @@ where
         }),
         cvs: (0..k).map(|_| Condvar::new()).collect(),
     });
-    std::thread::scope(|s| {
+    let pool_done = std::sync::atomic::AtomicBool::new(false);
+    let join_err = std::thread::scope(|s| {
+        if jitter.is_some() {
+            // The jitter harness also hammers every shard condvar with
+            // unrequested notifies for the whole run: `Condvar::wait`
+            // permits spurious wakeups, but the OS produces them too
+            // rarely to test against — this makes every wait see them
+            // routinely, so a dispatch path that trusts a wakeup (instead
+            // of re-checking the gate's running fence) fails in the
+            // determinism suite instead of once a year in production.
+            let shared = &shared;
+            let pool_done = &pool_done;
+            s.spawn(move || {
+                while !pool_done.load(std::sync::atomic::Ordering::Relaxed) {
+                    for c in &shared.cvs {
+                        c.notify_all();
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(20));
+                }
+            });
+        }
         let handles: Vec<_> = (1..k)
             .map(|shard| {
                 let world = Arc::clone(&world);
@@ -542,11 +573,22 @@ where
             )
         };
         debug_assert!(p.is_none(), "pool shards surface panics via the gate");
+        // Collect join failures instead of panicking on the first one:
+        // a shard thread that died outside the pool protocol (e.g. on a
+        // gate poisoned by an earlier panic) must not mask the original
+        // rank panic or deadlock diagnostics recorded in the gate.
+        let mut join_err: Option<Box<dyn Any + Send>> = None;
         for h in handles {
-            h.join().expect("shard host thread panicked outside the pool protocol");
+            if let Err(e) = h.join() {
+                join_err.get_or_insert(e);
+            }
         }
+        pool_done.store(true, std::sync::atomic::Ordering::Relaxed);
+        join_err
     });
-    let mut g = shared.gate.lock().unwrap();
+    // A thread that panicked while holding the gate poisons it; the
+    // diagnostics inside are still the best report available.
+    let mut g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(d) = g.deadlock.take() {
         drop(g);
         panic!("flexio-sim event loop deadlock: {d}");
@@ -557,6 +599,10 @@ where
         resume_unwind(p);
     }
     drop(g);
+    if let Some(e) = join_err {
+        drop(results);
+        resume_unwind(e);
+    }
     results.into_iter().map(|c| c.0.into_inner()).collect()
 }
 
@@ -852,6 +898,16 @@ unsafe fn drive_gated(el_ptr: *mut Sched) {
             }
             return;
         }
+        if let Some(owner) = g.running {
+            // A segment is in flight on another shard: we were woken
+            // spuriously, or by a cross-shard delivery that lowered our
+            // published min below the runner's fenced key. Winning the
+            // argmin now would dispatch concurrently with it; wait for
+            // the runner to re-lock, clear `running`, and re-elect.
+            debug_assert_ne!(owner, me, "gate re-entered while marked running");
+            g = sh.cvs[me].wait(g).unwrap();
+            continue;
+        }
         match global_argmin(&g.mins) {
             None => {
                 // Every shard idle with live ranks remaining: global
@@ -877,9 +933,10 @@ unsafe fn drive_gated(el_ptr: *mut Sched) {
             Some(_) => {}
         }
         // Our turn: the head of our heap is the global minimum — the same
-        // key the sequential loop would pop now. `g.mins[me]` deliberately
-        // keeps that key while we run: it fences every other shard (it is
-        // the global min) until we republish.
+        // key the sequential loop would pop now. `g.running` fences every
+        // other shard while the segment is in flight; `g.mins[me]`
+        // deliberately keeps the executing key so re-election after the
+        // release still sees it if it remains the minimum.
         let Reverse((_clock, r, kind)) = unsafe { (*el_ptr).ready.pop().expect("published min vanished") };
         let (host, fctx) = {
             let el = unsafe { &mut *el_ptr };
@@ -902,30 +959,47 @@ unsafe fn drive_gated(el_ptr: *mut Sched) {
             el.current = r;
             (&mut el.host_ctx as *mut Context, &el.slots[li].ctx as *const Context)
         };
+        g.running = Some(me);
         drop(g); // user code must not run under the gate
         flexio_types::flatten::set_flatten_scope(r as u64);
         // SAFETY: fctx is a live suspended (or fresh) fiber context.
         unsafe { switch_stacks(host, fctx) };
         let canary_ok = unsafe { (&(*el_ptr).slots)[r - (*el_ptr).lo].stack.canary_ok() };
         if !canary_ok {
-            // The overflowed stack cannot be safely unwound; surface the
-            // failure through the pool protocol (peers still unwind
-            // cleanly) and let the caller re-raise it.
-            let stack_bytes = unsafe { (*el_ptr).stack_bytes };
-            let msg = format!(
-                "rank {r} overflowed its {stack_bytes}-byte fiber stack (raise FLEXIO_SIM_STACK_KB)"
-            );
-            let mut g = sh.gate.lock().unwrap();
-            if g.panic_payload.is_none() {
-                g.panic_payload = Some(Box::new(msg));
+            // Only the overflowed stack is unsafe to unwind. Retire its
+            // slot so the forced unwind skips it, surface the failure
+            // through the pool protocol, then unwind this shard's other
+            // fibers normally (their destructors run, like the peers').
+            let msg = unsafe {
+                let el = &mut *el_ptr;
+                el.slots[r - el.lo].done = true;
+                format!(
+                    "rank {r} overflowed its {}-byte fiber stack (raise FLEXIO_SIM_STACK_KB)",
+                    el.stack_bytes
+                )
+            };
+            {
+                let mut g = sh.gate.lock().unwrap();
+                g.running = None;
+                if g.panic_payload.is_none() {
+                    g.panic_payload = Some(Box::new(msg));
+                }
+                g.unwinding = true;
+                for c in &sh.cvs {
+                    c.notify_all();
+                }
             }
-            g.unwinding = true;
-            for c in &sh.cvs {
-                c.notify_all();
+            unsafe { force_unwind_local(el_ptr) };
+            if let Some(p) = unsafe { (*el_ptr).panic_payload.take() } {
+                let mut g = sh.gate.lock().unwrap();
+                if g.panic_payload.is_none() {
+                    g.panic_payload = Some(p);
+                }
             }
             return;
         }
         g = sh.gate.lock().unwrap();
+        g.running = None;
     }
 }
 

@@ -349,7 +349,9 @@ where
 
 /// Determinism-harness entry: [`run`] on a `shards`-wide pool whose
 /// spawned host threads start with a pseudo-random stagger of up to
-/// `max_jitter_us` wall microseconds (derived from `seed`), deliberately
+/// `max_jitter_us` wall microseconds (derived from `seed`), and whose
+/// shard condvars are flooded with unrequested notifies for the whole
+/// run (spurious wakeups far denser than any OS produces), deliberately
 /// perturbing host scheduling. The result must still be bit-identical to
 /// [`Backend::EventLoop`] — that is the pool's whole contract — so this
 /// exists for tests to prove it under hostile interleavings.

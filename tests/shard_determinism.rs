@@ -5,9 +5,14 @@
 //! This suite attacks the pool itself:
 //!
 //! * **Run-twice bit-identity under perturbed host scheduling** — the
-//!   pool's shard threads are started with seeded random sleeps
-//!   (`run_jittered`), so host-thread interleaving differs across runs
-//!   and from the unjittered pool. Results must not.
+//!   pool's shard threads are started with seeded random sleeps and the
+//!   shard condvars are flooded with spurious wakeups (`run_jittered`),
+//!   so host-thread interleaving differs across runs and from the
+//!   unjittered pool. Results must not.
+//! * **The dispatch fence under spurious wakeups** — a directed
+//!   regression asserting at-most-one rank segment in flight while
+//!   cross-shard deliveries lower sleeping shards' published mins below
+//!   the runner's key.
 //! * **Degenerate partitions** — odd shard counts, more shards than
 //!   ranks (the pool must clamp), and exactly one rank per shard.
 //! * **Cross-shard delivery** — a directed regression for the latent
@@ -152,6 +157,59 @@ fn deadlock_is_detected_under_shards() {
         msg.contains("deadlock") && msg.contains("4 of 4 ranks parked"),
         "unexpected deadlock diagnostic: {msg:?}"
     );
+}
+
+#[test]
+fn spurious_condvar_wakeups_cannot_double_dispatch() {
+    if !Backend::event_loop_supported() {
+        return;
+    }
+    // The gate's dispatch fence must hold even when `Condvar::wait`
+    // returns without a matching notify. `run_jittered` floods every
+    // shard condvar with unrequested `notify_all` for the whole run, and
+    // this workload manufactures the dangerous window: ranks 0..p-2 park
+    // at clock 0, then the last rank's segment fans out cross-shard
+    // deliveries whose wake keys sit *below* its own executing key —
+    // lowering sleeping shards' published mins mid-segment. A woken
+    // shard that trusts the wakeup (instead of re-checking the gate's
+    // running fence) dispatches a second segment concurrently with the
+    // in-flight one, which the atomic below detects directly.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static IN_SEGMENT: AtomicUsize = AtomicUsize::new(0);
+    fn enter() {
+        let was = IN_SEGMENT.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(was, 0, "two rank segments executed concurrently");
+    }
+    fn exit() {
+        IN_SEGMENT.fetch_sub(1, Ordering::SeqCst);
+    }
+    let (p, k) = (8usize, 4usize);
+    let body = move |r: &Rank| {
+        if r.rank() == p - 1 {
+            r.advance(1_000_000);
+            enter();
+            for d in 0..p - 1 {
+                r.send(d, 5, &[d as u8; 8]);
+                // Hold the segment open in wall time: a wrongly woken
+                // receiver shard gets every chance to dispatch while
+                // this segment is still in flight.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            exit();
+        } else {
+            let got = r.recv(p - 1, 5);
+            enter();
+            std::thread::sleep(std::time::Duration::from_micros(10));
+            exit();
+            assert_eq!(got, vec![r.rank() as u8; 8]);
+        }
+        (r.rank() as u64, r.now())
+    };
+    let baseline = run_on(Backend::EventLoop, p, CostModel::default(), body);
+    for seed in 0..6u64 {
+        let j = run_jittered(p, CostModel::default(), k, seed, 100, body);
+        assert_eq!(j, baseline, "seed={seed}: run under spurious wakeups diverges");
+    }
 }
 
 /// Random parameters for the ordering property.
